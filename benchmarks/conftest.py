@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper artifact via
+:mod:`repro.bench.experiments` and saves the rendered table under
+``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
+run leaves every table on disk.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def run_and_save(results_dir):
+    """Run an experiment by id, save its table, return it."""
+    from repro.bench.experiments import run_experiment
+
+    def runner(experiment_id: str):
+        table = run_experiment(experiment_id)
+        table.save(results_dir)
+        return table
+
+    return runner

@@ -1,0 +1,40 @@
+"""Design-choice ablations called out in DESIGN.md: the assignment
+objective (total vs delta cost) and the tree invalidation policy
+(eager vs lazy)."""
+
+
+def test_ablation_objective(benchmark, run_and_save):
+    table = benchmark.pedantic(
+        run_and_save, args=("ablation_objective",), iterations=1, rounds=1
+    )
+    assert [row[0] for row in table.rows] == ["total", "delta"]
+    for row in table.rows:
+        assert row[1] != "DNF"
+
+
+def test_ablation_invalidation(benchmark, run_and_save):
+    table = benchmark.pedantic(
+        run_and_save, args=("ablation_invalidation",), iterations=1, rounds=1
+    )
+    assert [row[0] for row in table.rows] == ["lazy", "eager"]
+    # Invalidation policy changes upkeep cost, never assignments.
+    lazy_rate, eager_rate = table.rows[0][2], table.rows[1][2]
+    assert lazy_rate == eager_rate
+
+
+def test_ablation_beam(benchmark, run_and_save):
+    table = benchmark.pedantic(
+        run_and_save, args=("ablation_beam",), iterations=1, rounds=1
+    )
+    labels = [row[0] for row in table.rows]
+    assert labels == ["exact", "32", "8", "2"]
+    # Beams bound the tree, so no cell may DNF.
+    for row in table.rows:
+        assert row[1] != "DNF"
+
+
+def test_engine_cache_table(benchmark, run_and_save):
+    table = benchmark.pedantic(
+        run_and_save, args=("micro_engine",), iterations=1, rounds=1
+    )
+    assert len(table.rows) == 3

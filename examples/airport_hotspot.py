@@ -1,0 +1,105 @@
+"""The airport burst: why hotspot clustering exists (Section V).
+
+Eight passengers request rides from the same terminal within seconds,
+all heading downtown. Any permutation of the pickups (and of the
+dropoffs) is a valid schedule, so the basic kinetic tree materializes a
+factorially exploding set — the paper's "8! = 40,320 possibilities"
+scenario. Hotspot clustering merges co-located stops into group nodes
+and keeps one representative order, with the Theorem 2 cost bound.
+
+This example feeds the identical burst to one vehicle per variant and
+compares tree size, insertion effort, and best-schedule cost.
+
+Run:  python examples/airport_hotspot.py
+"""
+
+from repro import KineticTree, TripRequest, grid_city, make_engine
+from repro.exceptions import TreeBudgetExceeded
+from repro.sim.workload import burst_workload
+
+#: Stand-in for the paper's "reasonable time / 3 GB" cutoff.
+BUDGET = 300_000
+
+
+def build_tree(engine, variant, theta, specs):
+    mode = "basic" if variant == "basic" else "slack"
+    hotspot = theta if variant == "hotspot" else None
+    tree = KineticTree(
+        engine,
+        start_vertex=0,
+        capacity=None,
+        mode=mode,
+        hotspot_theta=hotspot,
+        expansion_budget=BUDGET,
+    )
+    effort = 0
+    accepted = 0
+    for rid, spec in enumerate(specs):
+        request = TripRequest(
+            rid,
+            spec.origin,
+            spec.destination,
+            spec.request_time,
+            max_wait=1200.0,
+            detour_epsilon=1.0,
+            direct_cost=engine.distance(spec.origin, spec.destination),
+        )
+        trial = tree.try_insert(request, tree.root_vertex, spec.request_time)
+        if trial is None:
+            continue
+        effort += trial.expansions
+        tree.commit(trial)
+        accepted += 1
+    return tree, effort, accepted
+
+
+def main() -> None:
+    city = grid_city(25, 25, seed=3)
+    engine = make_engine(city)
+    terminal = city.num_vertices // 2          # the "airport"
+    downtown = 3                               # the shared destination zone
+    specs = burst_workload(
+        city,
+        center_vertex=terminal,
+        num_trips=8,
+        request_time=0.0,
+        dest_center_vertex=downtown,
+        seed=1,
+    )
+    print(f"burst: {len(specs)} co-located requests at vertex {terminal}\n")
+    theta = 45.0  # seconds of travel ~ 630 m
+
+    print(f"{'variant':10s} {'accepted':>8s} {'tree nodes':>10s} "
+          f"{'schedules':>10s} {'expansions':>10s} {'best cost':>10s}")
+    results = {}
+    for variant in ("basic", "slack", "hotspot"):
+        try:
+            tree, effort, accepted = build_tree(engine, variant, theta, specs)
+        except TreeBudgetExceeded:
+            # The paper's Fig. 9(c): basic/slack "break off" on exactly
+            # this workload — the factorial blowup in action.
+            print(f"{variant:10s} {'DNF: exceeded':>20s} {BUDGET:,} expansions")
+            continue
+        best = tree.best_schedule()
+        cost = best[0] if best else float("nan")
+        results[variant] = cost
+        print(
+            f"{variant:10s} {accepted:8d} {tree.size():10d} "
+            f"{tree.num_schedules():10d} {effort:10d} {cost:10.0f}"
+        )
+
+    if "basic" in results and "hotspot" in results:
+        gap = results["hotspot"] - results["basic"]
+        print(
+            f"\nhotspot optimality gap: +{gap:.0f}s "
+            f"(Theorem 2 bound: 2(m+1)*theta = {2 * (len(specs) + 1) * theta:.0f}s)"
+        )
+    elif "hotspot" in results:
+        print(
+            "\nonly hotspot clustering completed — the paper's headline "
+            "result for high-capacity / co-located workloads."
+        )
+
+
+if __name__ == "__main__":
+    main()

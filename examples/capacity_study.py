@@ -1,0 +1,74 @@
+"""How large do shared vehicles need to be? (Fig. 9(c) + Section VI.B)
+
+Sweeps vehicle capacity from 3 seats to unlimited with the hotspot
+kinetic tree and reports, per capacity: ACRT, service rate, and the
+occupancy statistics the paper closes with (max passengers, fleet mean,
+top-20% mean) — the numbers behind its conclusion that "the majority of
+vehicles in a server fleet should be five-person cars (...) but for some
+requests larger vehicles are needed".
+
+Run:  python examples/capacity_study.py
+"""
+
+from repro import (
+    ShanghaiLikeWorkload,
+    SimulationConfig,
+    burst_workload,
+    grid_city,
+    make_engine,
+    simulate,
+)
+
+CAPACITIES = (3, 4, 6, 8, 12, None)
+
+
+def main() -> None:
+    city = grid_city(28, 28, seed=11)
+    engine = make_engine(city)
+    workload = ShanghaiLikeWorkload(city, seed=11, min_trip_meters=1500.0)
+    trips = workload.generate(num_trips=240, duration_seconds=3600.0)
+    # Airport-style bursts: the pattern that actually needs big vehicles.
+    for b, when in enumerate((900.0, 1800.0, 2700.0)):
+        trips.extend(
+            burst_workload(
+                city,
+                int(workload.hotspots[b]),
+                8,
+                trips[0].request_time + when,
+                dest_center_vertex=int(workload.hotspots[b + 1]),
+                seed=b,
+            )
+        )
+    trips.sort(key=lambda t: t.request_time)
+
+    print(f"{len(trips)} requests | 8 vehicles | hotspot kinetic tree\n")
+    print(
+        f"{'capacity':>8s} {'ACRT ms':>9s} {'rate':>6s} {'max occ':>8s} "
+        f"{'mean max':>9s} {'top-20%':>8s}"
+    )
+    for capacity in CAPACITIES:
+        config = SimulationConfig(
+            num_vehicles=8,
+            capacity=capacity,
+            algorithm="kinetic",
+            hotspot_theta=40.0,
+            tree_expansion_budget=300_000,
+            seed=11,
+        )
+        report = simulate(engine, config, trips)
+        occ = report.occupancy
+        label = "unlim" if capacity is None else str(capacity)
+        print(
+            f"{label:>8s} {report.acrt_ms:9.3f} {report.service_rate:6.2f} "
+            f"{occ.max_passengers:8d} {occ.mean_max_per_vehicle:9.2f} "
+            f"{occ.top20_mean:8.2f}"
+        )
+        assert report.verify_service_guarantees() == []
+    print(
+        "\npaper analogue: max 17 / fleet mean 1.7 / top-20% 3.9 at city "
+        "scale — most rides fit a 5-seater, a few need minibuses."
+    )
+
+
+if __name__ == "__main__":
+    main()

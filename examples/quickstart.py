@@ -1,0 +1,65 @@
+"""Quickstart: match a handful of ride requests with kinetic trees.
+
+Builds a small synthetic city, runs three requests through the
+dispatcher, and prints each assignment and the winning vehicle's
+schedule — the 30-second tour of the public API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Dispatcher,
+    KineticAgent,
+    Vehicle,
+    grid_city,
+    make_engine,
+)
+
+
+def main() -> None:
+    # 1. A road network and a shortest-path engine over it.
+    city = grid_city(20, 20, seed=7)
+    engine = make_engine(city)  # precomputed all-pairs for a small city
+    print(f"city: {city}")
+
+    # 2. Two vehicles with kinetic trees — few enough that riders with
+    #    similar routes end up sharing.
+    agents = [
+        KineticAgent(Vehicle(vid, start_vertex=vid * 157 % city.num_vertices,
+                             capacity=4, seed=vid), engine)
+        for vid in range(2)
+    ]
+    dispatcher = Dispatcher(engine, agents)
+
+    # 3. Ride requests: origin, destination, request time, waiting-time
+    #    budget w (seconds) and detour tolerance eps. The first three all
+    #    head down the same corridor.
+    trips = [(5, 210, 0.0), (8, 230, 20.0), (27, 250, 40.0), (140, 395, 60.0)]
+    for origin, destination, t in trips:
+        request = dispatcher.make_request(
+            origin, destination, t, max_wait=600.0, detour_epsilon=0.6
+        )
+        result = dispatcher.submit(request, t)
+        if not result.assigned:
+            print(f"request {request.request_id}: no vehicle can serve it")
+            continue
+        agent = result.winner
+        cost, stops = agent.tree.best_schedule()
+        print(
+            f"request {request.request_id} ({origin}->{destination}) -> "
+            f"vehicle {agent.vehicle.vehicle_id}, schedule cost {cost:.0f}s, "
+            f"plan: {' '.join(repr(s) for s in stops)}"
+        )
+
+    # 4. The winning trees keep every alternative schedule materialized.
+    for agent in agents:
+        if agent.num_active_trips:
+            print(
+                f"vehicle {agent.vehicle.vehicle_id}: "
+                f"{agent.tree.num_schedules()} valid schedule(s), "
+                f"{agent.tree.size()} tree nodes"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim for environments without the `wheel` package (offline),
+enabling legacy `pip install -e . --no-use-pep517`. Configuration lives
+in pyproject.toml."""
+from setuptools import setup
+
+setup()

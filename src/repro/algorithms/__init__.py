@@ -1,0 +1,42 @@
+"""Single-vehicle scheduling algorithms (Sections II-III of the paper).
+
+Each algorithm maps a :class:`~repro.core.problem.SchedulingProblem` —
+a vehicle's unfinished commitments plus one new request — to the
+minimum-cost valid augmented schedule, or ``None`` when the vehicle
+cannot serve the request:
+
+* :class:`~repro.algorithms.brute_force.BruteForce` — permutation DFS
+  with feasibility pruning;
+* :class:`~repro.algorithms.branch_and_bound.BranchAndBound` — best-first
+  search with the paper's min-incident-edge lower bound;
+* :class:`~repro.algorithms.mip.MixedIntegerProgramming` — the paper's
+  MTZ-linearized MIP formulation solved by HiGHS;
+* :class:`~repro.algorithms.insertion.TwoPhaseInsertion` — the classical
+  insertion heuristic (related work [19]), kept as an ablation baseline.
+
+The kinetic tree lives in :mod:`repro.core.kinetic`;
+:class:`~repro.algorithms.base.KineticTreeAlgorithm` adapts it to this
+interface for one-shot head-to-head comparisons.
+"""
+
+from repro.algorithms.base import (
+    ALGORITHM_REGISTRY,
+    KineticTreeAlgorithm,
+    SchedulingAlgorithm,
+    make_algorithm,
+)
+from repro.algorithms.branch_and_bound import BranchAndBound
+from repro.algorithms.brute_force import BruteForce
+from repro.algorithms.insertion import TwoPhaseInsertion
+from repro.algorithms.mip import MixedIntegerProgramming
+
+__all__ = [
+    "SchedulingAlgorithm",
+    "BruteForce",
+    "BranchAndBound",
+    "MixedIntegerProgramming",
+    "TwoPhaseInsertion",
+    "KineticTreeAlgorithm",
+    "ALGORITHM_REGISTRY",
+    "make_algorithm",
+]

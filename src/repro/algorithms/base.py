@@ -1,0 +1,109 @@
+"""Strategy interface shared by all single-vehicle schedulers."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.problem import ScheduleResult, SchedulingProblem
+
+
+class SchedulingAlgorithm(abc.ABC):
+    """Finds the minimum-cost valid augmented schedule for one vehicle.
+
+    Implementations are stateless with respect to individual vehicles:
+    all vehicle state arrives in the
+    :class:`~repro.core.problem.SchedulingProblem`. (The kinetic tree is
+    inherently stateful; its adapter below reconstructs a throwaway tree,
+    which is exactly what the paper's one-shot ART comparisons measure.)
+    """
+
+    #: Registry key and display name, set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    @abc.abstractmethod
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult | None:
+        """Best augmented schedule, or ``None`` if infeasible."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class KineticTreeAlgorithm(SchedulingAlgorithm):
+    """One-shot adapter: answer a :class:`SchedulingProblem` with a fresh
+    kinetic tree.
+
+    Builds the tree over the problem's existing commitments (in their
+    currently committed order — rebuilding *all* orders would overstate
+    single-shot cost), then inserts the new request. Used for algorithm
+    comparisons on identical problems; the simulator uses live
+    :class:`~repro.core.kinetic.tree.KineticTree` instances instead.
+    """
+
+    name = "kinetic"
+
+    def __init__(self, engine, mode: str = "slack", hotspot_theta: float | None = None):
+        super().__init__(engine)
+        self.mode = mode
+        self.hotspot_theta = hotspot_theta
+
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult | None:
+        from repro.core.kinetic.tree import KineticTree
+
+        tree = KineticTree.from_problem(
+            self.engine, problem, mode=self.mode, hotspot_theta=self.hotspot_theta
+        )
+        if tree is None:
+            return None
+        if problem.new_request is None:
+            best = tree.best_schedule()
+            if best is None:
+                return ScheduleResult(stops=(), arrivals=(), cost=0.0)
+            evaluation = problem.evaluate(self.engine, best[1])
+            assert evaluation is not None, "tree materialized an invalid schedule"
+            return ScheduleResult(
+                stops=evaluation.stops,
+                arrivals=evaluation.arrivals,
+                cost=evaluation.cost,
+            )
+        trial = tree.try_insert(
+            problem.new_request, problem.start_vertex, problem.start_time
+        )
+        if trial is None:
+            return None
+        tree.commit(trial)
+        best = tree.best_schedule()
+        assert best is not None
+        evaluation = problem.evaluate(self.engine, best[1])
+        assert evaluation is not None, "tree materialized an invalid schedule"
+        return ScheduleResult(
+            stops=evaluation.stops,
+            arrivals=evaluation.arrivals,
+            cost=evaluation.cost,
+            expansions=trial.expansions,
+        )
+
+
+#: name -> constructor for the four paper algorithms plus extras.
+ALGORITHM_REGISTRY: dict[str, type] = {}
+
+
+def register(cls: type) -> type:
+    """Class decorator adding an algorithm to the registry."""
+    ALGORITHM_REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_algorithm(name: str, engine, **kwargs) -> SchedulingAlgorithm:
+    """Instantiate a registered algorithm by name."""
+    try:
+        cls = ALGORITHM_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(ALGORITHM_REGISTRY))
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
+    return cls(engine, **kwargs)
+
+
+ALGORITHM_REGISTRY["kinetic"] = KineticTreeAlgorithm

@@ -1,0 +1,102 @@
+"""Brute-force scheduling: permutation enumeration with pruning.
+
+Section II: "The brute-force algorithm to find the augmented valid trip
+schedules is straightforward. We enumerate all of the permutations and
+then check the constraints." As the paper notes for its experiments, the
+enumeration "can stop earlier on average when checking the feasibility of
+each permutation" — implemented here by extending prefixes depth-first
+and abandoning a prefix the moment it violates a constraint (constraint
+violations are monotone in prefix extension, so no valid permutation is
+lost).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import SchedulingAlgorithm, register
+from repro.core.problem import ScheduleResult, SchedulingProblem
+from repro.core.schedule import _EPS
+from repro.core.stop import Stop
+
+
+@register
+class BruteForce(SchedulingAlgorithm):
+    """Exhaustive search over valid stop orderings."""
+
+    name = "brute_force"
+
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult | None:
+        stops = list(problem.stops_to_schedule)
+        if not stops:
+            return ScheduleResult(stops=(), arrivals=(), cost=0.0)
+        engine = self.engine
+        capacity = problem.capacity
+        best_cost = [float("inf")]
+        best: list[tuple[Stop, ...] | None] = [None]
+        best_arrivals: list[tuple[float, ...]] = [()]
+        expansions = [0]
+        pickup_times = problem.onboard_pickup_times
+
+        def extend(
+            loc: int,
+            time: float,
+            remaining: list[Stop],
+            load: int,
+            path: list[Stop],
+            arrivals: list[float],
+        ) -> None:
+            if not remaining:
+                cost = time - problem.start_time
+                if cost < best_cost[0]:
+                    best_cost[0] = cost
+                    best[0] = tuple(path)
+                    best_arrivals[0] = tuple(arrivals)
+                return
+            for index, stop in enumerate(remaining):
+                request = stop.request
+                rid = request.request_id
+                if stop.is_dropoff and rid not in pickup_times:
+                    continue
+                expansions[0] += 1
+                arrival = time + engine.distance(loc, stop.vertex)
+                if stop.is_pickup:
+                    if arrival > request.pickup_deadline + _EPS:
+                        continue
+                    if capacity is not None and load + 1 > capacity:
+                        continue
+                    pickup_times[rid] = arrival
+                    new_load = load + 1
+                else:
+                    if arrival - pickup_times[rid] > request.max_ride_cost + _EPS:
+                        continue
+                    new_load = load - 1
+                path.append(stop)
+                arrivals.append(arrival)
+                extend(
+                    stop.vertex,
+                    arrival,
+                    remaining[:index] + remaining[index + 1 :],
+                    new_load,
+                    path,
+                    arrivals,
+                )
+                path.pop()
+                arrivals.pop()
+                if stop.is_pickup:
+                    del pickup_times[rid]
+
+        extend(
+            problem.start_vertex,
+            problem.start_time,
+            stops,
+            len(problem.onboard),
+            [],
+            [],
+        )
+        if best[0] is None:
+            return None
+        return ScheduleResult(
+            stops=best[0],
+            arrivals=best_arrivals[0],
+            cost=best_cost[0],
+            expansions=expansions[0],
+        )

@@ -1,0 +1,79 @@
+"""Two-phase insertion heuristic (related work [19], Coslovich et al.).
+
+The classical fast heuristic for dynamic dial-a-ride: keep the vehicle's
+committed stop order fixed and try every placement of the new pickup at
+position ``i`` and the new dropoff at position ``j >= i``. O(m^2)
+evaluations, no reordering of existing commitments. Included as an
+ablation baseline: it shows what the kinetic tree's full schedule
+flexibility buys in matching quality (the tree considers *all* valid
+reorderings; insertion considers one).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import SchedulingAlgorithm, register
+from repro.core.problem import ScheduleResult, SchedulingProblem
+from repro.core.stop import dropoff, pickup
+
+
+@register
+class TwoPhaseInsertion(SchedulingAlgorithm):
+    """Insert the new request into the fixed committed order."""
+
+    name = "insertion"
+
+    def solve(self, problem: SchedulingProblem) -> ScheduleResult | None:
+        base = self._base_order(problem)
+        if base is None:
+            return None
+        if problem.new_request is None:
+            evaluation = problem.evaluate(self.engine, base)
+            if evaluation is None:
+                return None
+            return ScheduleResult(
+                stops=evaluation.stops,
+                arrivals=evaluation.arrivals,
+                cost=evaluation.cost,
+            )
+
+        new_pickup = pickup(problem.new_request)
+        new_dropoff = dropoff(problem.new_request)
+        best = None
+        expansions = 0
+        for i in range(len(base) + 1):
+            for j in range(i, len(base) + 1):
+                expansions += 1
+                candidate = list(base)
+                candidate.insert(i, new_pickup)
+                candidate.insert(j + 1, new_dropoff)
+                evaluation = problem.evaluate(self.engine, candidate)
+                if evaluation is None:
+                    continue
+                if best is None or evaluation.cost < best.cost:
+                    best = evaluation
+        if best is None:
+            return None
+        return ScheduleResult(
+            stops=best.stops,
+            arrivals=best.arrivals,
+            cost=best.cost,
+            expansions=expansions,
+        )
+
+    def _base_order(self, problem: SchedulingProblem):
+        """The committed order to insert into.
+
+        The simulator passes the executing order via
+        ``problem.metadata``-free convention: onboard dropoffs in pickup
+        order, then pending trips FIFO — the natural committed order when
+        no reordering is ever performed (this heuristic never reorders).
+        """
+        onboard = sorted(problem.onboard.items(), key=lambda item: item[1])
+        stops = [dropoff(request) for request, _ in onboard]
+        for request in problem.pending:
+            stops.append(pickup(request))
+            stops.append(dropoff(request))
+        evaluation = problem.evaluate(self.engine, stops)
+        if evaluation is None and stops:
+            return None
+        return tuple(stops)

@@ -1,0 +1,48 @@
+"""Core ridesharing model: requests, schedules, vehicles, matching, and
+the kinetic tree."""
+
+from repro.core.constraints import (
+    DEFAULT_CONSTRAINTS,
+    PAPER_CONSTRAINT_SWEEP,
+    ConstraintConfig,
+)
+from repro.core.kinetic import KineticTree, KineticTrial, TreeNode
+from repro.core.matching import (
+    AssignmentResult,
+    Dispatcher,
+    KineticAgent,
+    Quote,
+    RescheduleAgent,
+    VehicleAgent,
+)
+from repro.core.problem import ScheduleResult, SchedulingProblem
+from repro.core.request import TripRequest
+from repro.core.schedule import ScheduleEvaluation, check_structure, evaluate_schedule
+from repro.core.stop import Stop, StopKind, dropoff, pickup
+from repro.core.vehicle import Vehicle
+
+__all__ = [
+    "ConstraintConfig",
+    "PAPER_CONSTRAINT_SWEEP",
+    "DEFAULT_CONSTRAINTS",
+    "TripRequest",
+    "Stop",
+    "StopKind",
+    "pickup",
+    "dropoff",
+    "ScheduleEvaluation",
+    "evaluate_schedule",
+    "check_structure",
+    "SchedulingProblem",
+    "ScheduleResult",
+    "Vehicle",
+    "KineticTree",
+    "KineticTrial",
+    "TreeNode",
+    "Dispatcher",
+    "VehicleAgent",
+    "KineticAgent",
+    "RescheduleAgent",
+    "Quote",
+    "AssignmentResult",
+]

@@ -1,0 +1,53 @@
+"""Service-guarantee constraint configuration.
+
+The paper studies a *unified* waiting time ``w`` and service constraint
+``eps`` chosen by the provider (Tables I and II sweep five settings:
+5 min / 10 % ... 25 min / 50 %), while noting the algorithms generalize to
+per-request constraints — which this library supports by stamping each
+:class:`~repro.core.request.TripRequest` with its own values at creation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ConstraintConfig:
+    """Provider-wide service guarantee: waiting time and detour tolerance."""
+
+    max_wait_seconds: float
+    detour_epsilon: float
+
+    def __post_init__(self):
+        if self.max_wait_seconds <= 0:
+            raise ValueError("max_wait_seconds must be positive")
+        if self.detour_epsilon < 0:
+            raise ValueError("detour_epsilon must be non-negative")
+
+    @staticmethod
+    def from_minutes(wait_minutes: float, detour_percent: float) -> "ConstraintConfig":
+        """Build from the paper's table notation, e.g. ``(10, 20)`` for
+        "10 min / 20 %"."""
+        return ConstraintConfig(wait_minutes * 60.0, detour_percent / 100.0)
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``"10 min / 20%"``."""
+        return (
+            f"{self.max_wait_seconds / 60:.0f} min / "
+            f"{self.detour_epsilon * 100:.0f}%"
+        )
+
+
+#: The five constraint settings of Tables I and II; the default (10 min /
+#: 20 %) is the bolded middle setting.
+PAPER_CONSTRAINT_SWEEP = (
+    ConstraintConfig.from_minutes(5, 10),
+    ConstraintConfig.from_minutes(10, 20),
+    ConstraintConfig.from_minutes(15, 30),
+    ConstraintConfig.from_minutes(20, 40),
+    ConstraintConfig.from_minutes(25, 50),
+)
+
+DEFAULT_CONSTRAINTS = PAPER_CONSTRAINT_SWEEP[1]

@@ -1,0 +1,28 @@
+"""The kinetic tree (Section IV-V of the paper).
+
+A kinetic tree materializes *all* valid trip schedules of one vehicle as
+a prefix tree rooted at the vehicle's current location. Handling a new
+request is an incremental tree transformation instead of rescheduling
+from scratch — the paper's core contribution.
+
+Variants (all in :class:`~repro.core.kinetic.tree.KineticTree`):
+
+* ``mode="basic"`` — exact insertion with per-node revalidation;
+* ``mode="slack"`` — adds the min-max slack filter (Theorem 1) that
+  rejects hopeless subtrees in O(1) before descending;
+* ``hotspot_theta=θ`` — hotspot clustering (Section V): stops within θ
+  of an existing tree node merge into that node's group instead of
+  multiplying permutations, with the additive ``2(m+1)θ`` cost bound of
+  Theorem 2.
+"""
+
+from repro.core.kinetic.node import TreeNode, stop_latest_arrival
+from repro.core.kinetic.tree import KineticTree, KineticTrial, render_tree
+
+__all__ = [
+    "TreeNode",
+    "KineticTree",
+    "KineticTrial",
+    "stop_latest_arrival",
+    "render_tree",
+]

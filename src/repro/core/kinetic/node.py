@@ -1,0 +1,117 @@
+"""Kinetic tree nodes.
+
+A node holds one stop — or, with hotspot clustering, an ordered *group*
+of stops within pairwise θ that are visited consecutively (Section V).
+Each node caches the arrival time at each of its stops computed when its
+tree was last committed; arrivals of uncommitted branches drift as the
+vehicle moves and are recomputed live during insertion (the paper: "the
+∆ values are quiescent to server movement").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.stop import Stop
+
+
+def stop_latest_arrival(stop: Stop, onboard_pickup_times: Mapping[int, float]) -> float:
+    """Absolute latest-arrival time (LAT) of a stop, for the slack filter.
+
+    * pickup — ``request_time + w`` (the waiting-time constraint);
+    * dropoff of an onboard rider — ``actual pickup + (1+eps) d(s,e)``;
+    * dropoff of a not-yet-picked-up rider — ``pickup deadline +
+      (1+eps) d(s,e)``, the worst-case bound that makes the filter safe
+      (never over-pruning; see the module docstring of
+      :mod:`repro.core.kinetic.tree`).
+    """
+    request = stop.request
+    if stop.is_pickup:
+        return request.pickup_deadline
+    picked_at = onboard_pickup_times.get(request.request_id)
+    if picked_at is not None:
+        return picked_at + request.max_ride_cost
+    return request.latest_dropoff_bound
+
+
+class TreeNode:
+    """One visit in the prefix tree: a stop, or a hotspot group of stops.
+
+    Attributes
+    ----------
+    stops:
+        Ordered stops visited consecutively at this node (singleton
+        except under hotspot clustering).
+    arrivals:
+        Stored arrival time per stop, valid as of the last commit.
+    children:
+        Continuations; a leaf terminates one complete valid schedule.
+    delta:
+        The slack aggregate ``∆ = min(own slack, max over children ∆)``
+        (Theorem 1), refreshed only on commit.
+    """
+
+    __slots__ = ("stops", "arrivals", "children", "delta", "internal_cost")
+
+    def __init__(
+        self,
+        stops: Sequence[Stop],
+        arrivals: Sequence[float],
+        children: list["TreeNode"] | None = None,
+        internal_cost: float | None = None,
+    ):
+        if len(stops) != len(arrivals) or not stops:
+            raise ValueError("stops and arrivals must be equal-length and non-empty")
+        self.stops: tuple[Stop, ...] = tuple(stops)
+        self.arrivals: list[float] = list(arrivals)
+        self.children: list[TreeNode] = children if children is not None else []
+        self.delta: float = float("inf")
+        if internal_cost is None:
+            internal_cost = arrivals[-1] - arrivals[0] if len(arrivals) > 1 else 0.0
+        self.internal_cost = internal_cost
+
+    # ------------------------------------------------------------------
+    @property
+    def first_vertex(self) -> int:
+        """Vertex of the first stop in the group."""
+        return self.stops[0].vertex
+
+    @property
+    def last_vertex(self) -> int:
+        """Vertex of the last stop in the group (where continuations start)."""
+        return self.stops[-1].vertex
+
+    @property
+    def last_arrival(self) -> float:
+        """Stored arrival at the last stop of the group."""
+        return self.arrivals[-1]
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_group(self) -> bool:
+        """Whether this node is a hotspot group (more than one stop)."""
+        return len(self.stops) > 1
+
+    # ------------------------------------------------------------------
+    def iter_nodes(self) -> Iterator["TreeNode"]:
+        """This node and all descendants, preorder."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def count_nodes(self) -> int:
+        """Number of nodes in this subtree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def count_leaves(self) -> int:
+        """Number of complete schedules below (or through) this node."""
+        return sum(1 for node in self.iter_nodes() if node.is_leaf)
+
+    def __repr__(self) -> str:
+        label = "+".join(repr(s) for s in self.stops)
+        return f"TreeNode({label}, children={len(self.children)})"

@@ -1,0 +1,103 @@
+"""The single-vehicle rescheduling problem all matchers solve.
+
+When request ``tr_{m+1}`` arrives, a vehicle must reschedule
+``N = {x_{i+1}, ..., x_{3m}, r_{m+1}, s_{m+1}, e_{m+1}}`` — the dropoffs
+of onboard passengers, both stops of accepted-but-not-picked-up trips,
+and both stops of the new request — starting from its current location
+(Section II of the paper). :class:`SchedulingProblem` captures exactly
+that state; each algorithm in :mod:`repro.algorithms` maps a problem to
+the minimum-cost valid augmented schedule (or ``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.request import TripRequest
+from repro.core.schedule import ScheduleEvaluation, evaluate_schedule
+from repro.core.stop import Stop, dropoff, pickup
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulingProblem:
+    """State of one vehicle at a scheduling decision point.
+
+    Attributes
+    ----------
+    start_vertex, start_time:
+        The vehicle's decision point ``(l, t)`` — for a moving vehicle,
+        the next vertex it will reach and the time it reaches it.
+    onboard:
+        ``request -> actual pickup time`` for riders in the vehicle.
+    pending:
+        Accepted trips whose riders are not yet picked up.
+    new_request:
+        The incoming trip to insert, or ``None`` to (re)schedule only the
+        existing commitments.
+    capacity:
+        Seat capacity; ``None`` means unlimited.
+    """
+
+    start_vertex: int
+    start_time: float
+    onboard: Mapping[TripRequest, float]
+    pending: tuple[TripRequest, ...]
+    new_request: TripRequest | None
+    capacity: int | None
+
+    @property
+    def onboard_pickup_times(self) -> dict[int, float]:
+        """``request_id -> pickup time`` map for schedule evaluation."""
+        return {r.request_id: t for r, t in self.onboard.items()}
+
+    @property
+    def stops_to_schedule(self) -> tuple[Stop, ...]:
+        """Every stop the augmented schedule must visit."""
+        stops: list[Stop] = [dropoff(r) for r in self.onboard]
+        for request in self.pending:
+            stops.append(pickup(request))
+            stops.append(dropoff(request))
+        if self.new_request is not None:
+            stops.append(pickup(self.new_request))
+            stops.append(dropoff(self.new_request))
+        return tuple(stops)
+
+    @property
+    def num_active_trips(self) -> int:
+        """Active trips excluding the new request (the paper's "current
+        request size" used to bucket ART)."""
+        return len(self.onboard) + len(self.pending)
+
+    def evaluate(self, engine, stops) -> ScheduleEvaluation | None:
+        """Exact validity/cost evaluation of a candidate stop order."""
+        return evaluate_schedule(
+            engine,
+            self.start_vertex,
+            self.start_time,
+            stops,
+            self.onboard_pickup_times,
+            capacity=self.capacity,
+            initial_load=len(self.onboard),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleResult:
+    """A matcher's answer: the best augmented schedule found.
+
+    ``cost`` is the paper's objective — the total on-road cost of the new
+    unfinished schedule. ``expansions`` counts search-tree node expansions
+    (permutations tried, B&B nodes popped, MIP simplex-free equivalent) so
+    tests and benches can compare search effort across algorithms.
+    """
+
+    stops: tuple[Stop, ...]
+    arrivals: tuple[float, ...]
+    cost: float
+    expansions: int = 0
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.stops

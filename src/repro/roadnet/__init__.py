@@ -1,0 +1,69 @@
+"""Road-network substrate: graphs, shortest paths, caches and generators.
+
+The paper's algorithms interact with the road network exclusively through
+shortest-path distances ``d(u, v)`` and shortest paths. This subpackage
+provides:
+
+* :class:`~repro.roadnet.graph.RoadNetwork` — a compact CSR adjacency
+  representation of an undirected weighted road graph;
+* three interchangeable shortest-path engines
+  (:class:`~repro.roadnet.engine.DijkstraEngine`,
+  :class:`~repro.roadnet.matrix.MatrixEngine`,
+  :class:`~repro.roadnet.hub_labeling.HubLabelEngine`) behind one protocol;
+* the paper's dual LRU caches for distances and paths
+  (:mod:`repro.roadnet.cache`);
+* synthetic city generators standing in for the Shanghai road network
+  (:mod:`repro.roadnet.generators`).
+"""
+
+from repro.roadnet.astar import (
+    AStarEngine,
+    EuclideanHeuristic,
+    LandmarkHeuristic,
+    astar_distance,
+    astar_path,
+)
+from repro.roadnet.cache import LRUCache, ShortestPathCache, combined_key
+from repro.roadnet.contraction import CHEngine, ContractionHierarchy
+from repro.roadnet.dijkstra import (
+    dijkstra_distance,
+    dijkstra_path,
+    single_source_distances,
+    vertices_within,
+)
+from repro.roadnet.engine import (
+    DijkstraEngine,
+    ShortestPathEngine,
+    make_engine,
+)
+from repro.roadnet.generators import grid_city, random_geometric_city, ring_radial_city
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.hub_labeling import HubLabelEngine, HubLabels
+from repro.roadnet.matrix import MatrixEngine
+
+__all__ = [
+    "RoadNetwork",
+    "AStarEngine",
+    "EuclideanHeuristic",
+    "LandmarkHeuristic",
+    "astar_distance",
+    "astar_path",
+    "CHEngine",
+    "ContractionHierarchy",
+    "LRUCache",
+    "ShortestPathCache",
+    "combined_key",
+    "dijkstra_distance",
+    "dijkstra_path",
+    "single_source_distances",
+    "vertices_within",
+    "ShortestPathEngine",
+    "DijkstraEngine",
+    "MatrixEngine",
+    "HubLabels",
+    "HubLabelEngine",
+    "make_engine",
+    "grid_city",
+    "ring_radial_city",
+    "random_geometric_city",
+]

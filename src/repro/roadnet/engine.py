@@ -1,0 +1,149 @@
+"""Shortest-path engine protocol, the cached Dijkstra engine, and a factory.
+
+Every matcher, tree, and simulator component takes a
+:class:`ShortestPathEngine` — the single seam between the scheduling
+algorithms and the road network, exactly mirroring the paper where all
+algorithms consume ``d(u, v)`` and shortest paths.
+"""
+
+from __future__ import annotations
+
+from math import inf
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.constants import DEFAULT_DISTANCE_CACHE_SIZE, DEFAULT_PATH_CACHE_SIZE
+from repro.roadnet.cache import ShortestPathCache
+from repro.roadnet.dijkstra import (
+    dijkstra_distance,
+    dijkstra_path,
+    single_source_array,
+    vertices_within,
+)
+from repro.roadnet.graph import RoadNetwork
+
+
+@runtime_checkable
+class ShortestPathEngine(Protocol):
+    """What the rest of the library needs from a road network."""
+
+    graph: RoadNetwork
+
+    def distance(self, source: int, target: int) -> float:
+        """Exact shortest-path cost ``d(source, target)`` in seconds."""
+        ...
+
+    def path(self, source: int, target: int) -> list[int]:
+        """A shortest path as a vertex list ``[source, ..., target]``."""
+        ...
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Dense array of distances from ``source`` to every vertex."""
+        ...
+
+    def vertices_within(self, source: int, radius: float) -> dict[int, float]:
+        """Vertices (with distances) whose network distance <= ``radius``."""
+        ...
+
+
+class DijkstraEngine:
+    """On-demand Dijkstra behind the paper's dual LRU caches.
+
+    This is the configuration the paper describes for the full Shanghai
+    network: exact point-to-point searches whose results are memoized in
+    a large distance cache and a small path cache, exploiting the strong
+    locality of matcher query streams.
+    """
+
+    kind = "dijkstra"
+
+    def __init__(
+        self,
+        graph: RoadNetwork,
+        distance_cache_size: int = DEFAULT_DISTANCE_CACHE_SIZE,
+        path_cache_size: int = DEFAULT_PATH_CACHE_SIZE,
+    ):
+        self.graph = graph
+        self.cache = ShortestPathCache(
+            graph.num_vertices,
+            distance_capacity=distance_cache_size,
+            path_capacity=path_cache_size,
+        )
+
+    def distance(self, source: int, target: int) -> float:
+        """Cached exact distance."""
+        if source == target:
+            return 0.0
+        cached = self.cache.get_distance(source, target)
+        if cached is not None:
+            return cached
+        value = dijkstra_distance(self.graph, source, target)
+        self.cache.put_distance(source, target, value)
+        return value
+
+    def path(self, source: int, target: int) -> list[int]:
+        """Cached shortest path (cached one direction; reversed on demand)."""
+        if source == target:
+            return [source]
+        cached = self.cache.get_path(source, target)
+        if cached is not None:
+            return list(cached)
+        reverse = self.cache.get_path(target, source)
+        if reverse is not None:
+            return list(reversed(reverse))
+        value = dijkstra_path(self.graph, source, target)
+        self.cache.put_path(source, target, value)
+        self.cache.put_distance(
+            source, target, _path_cost(self.graph, value)
+        )
+        return list(value)
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """Full single-source sweep (uncached; used by index builders)."""
+        return single_source_array(self.graph, source)
+
+    def vertices_within(self, source: int, radius: float) -> dict[int, float]:
+        """Bounded Dijkstra ball around ``source``."""
+        return vertices_within(self.graph, source, radius)
+
+    def stats(self) -> dict[str, float]:
+        """Cache statistics passthrough."""
+        return self.cache.stats()
+
+
+def _path_cost(graph: RoadNetwork, path: list[int]) -> float:
+    """Sum of edge weights along ``path``."""
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        total += graph.edge_weight(u, v)
+    return total
+
+
+def make_engine(graph: RoadNetwork, kind: str = "auto", **kwargs) -> ShortestPathEngine:
+    """Build a shortest-path engine.
+
+    ``kind``:
+      * ``"auto"`` — matrix engine for graphs small enough to precompute
+        all pairs (the benchmark configuration), Dijkstra otherwise;
+      * ``"matrix"`` | ``"dijkstra"`` | ``"hub_label"`` — explicit choice.
+    """
+    from repro.roadnet.astar import AStarEngine
+    from repro.roadnet.hub_labeling import HubLabelEngine
+    from repro.roadnet.matrix import MatrixEngine
+
+    if kind == "auto":
+        kind = "matrix" if graph.num_vertices <= 6_000 else "dijkstra"
+    if kind == "matrix":
+        return MatrixEngine(graph, **kwargs)
+    if kind == "dijkstra":
+        return DijkstraEngine(graph, **kwargs)
+    if kind == "hub_label":
+        return HubLabelEngine(graph, **kwargs)
+    if kind == "astar":
+        return AStarEngine(graph, **kwargs)
+    if kind == "ch":
+        from repro.roadnet.contraction import CHEngine
+
+        return CHEngine(graph, **kwargs)
+    raise ValueError(f"unknown engine kind {kind!r}")

@@ -1,0 +1,85 @@
+"""Serialization for road networks.
+
+Two formats:
+
+* **edge list CSV** (``u,v,weight`` lines plus optional ``# coords`` block)
+  for interchange with external tools and hand-written fixtures;
+* **npz** for fast round-trips of generated cities in the benchmark
+  harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.roadnet.graph import RoadNetwork
+
+
+def save_npz(network: RoadNetwork, path: str | os.PathLike) -> None:
+    """Save a road network to a compressed ``.npz`` archive."""
+    payload = {
+        "num_vertices": np.array([network.num_vertices]),
+        "indptr": network.indptr,
+        "indices": network.indices,
+        "weights": network.weights,
+    }
+    if network.coords is not None:
+        payload["coords"] = network.coords
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | os.PathLike) -> RoadNetwork:
+    """Load a road network saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        n = int(data["num_vertices"][0])
+        indptr, indices, weights = data["indptr"], data["indices"], data["weights"]
+        coords = data["coords"] if "coords" in data else None
+        edges = []
+        for u in range(n):
+            for pos in range(indptr[u], indptr[u + 1]):
+                v = int(indices[pos])
+                if u < v:
+                    edges.append((u, v, float(weights[pos])))
+        return RoadNetwork(n, edges, coords=coords)
+
+
+def save_edgelist(network: RoadNetwork, path: str | os.PathLike) -> None:
+    """Write ``u,v,weight`` CSV; coordinates appended as ``#C,x,y`` lines."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"#V,{network.num_vertices}\n")
+        for u, v, w in network.iter_edges():
+            handle.write(f"{u},{v},{w!r}\n")
+        if network.coords is not None:
+            for x, y in network.coords:
+                handle.write(f"#C,{float(x)!r},{float(y)!r}\n")
+
+
+def load_edgelist(path: str | os.PathLike) -> RoadNetwork:
+    """Read a network written by :func:`save_edgelist`."""
+    num_vertices = None
+    edges: list[tuple[int, int, float]] = []
+    coords: list[tuple[float, float]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#V,"):
+                num_vertices = int(line.split(",")[1])
+            elif line.startswith("#C,"):
+                _, x, y = line.split(",")
+                coords.append((float(x), float(y)))
+            elif line.startswith("#"):
+                continue
+            else:
+                parts = line.split(",")
+                if len(parts) != 3:
+                    raise GraphError(f"{path}:{line_no}: malformed edge line {line!r}")
+                edges.append((int(parts[0]), int(parts[1]), float(parts[2])))
+    if num_vertices is None:
+        raise GraphError(f"{path}: missing #V header")
+    coord_array = np.array(coords) if coords else None
+    return RoadNetwork(num_vertices, edges, coords=coord_array)

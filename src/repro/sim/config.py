@@ -1,0 +1,73 @@
+"""Simulation configuration.
+
+Bundles every knob of the paper's experimental design (Tables I and II)
+plus the reproduction-specific scale parameters, with the paper's
+defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.constraints import DEFAULT_CONSTRAINTS, ConstraintConfig
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """One simulation run's parameters.
+
+    Attributes
+    ----------
+    num_vehicles:
+        Fleet size (paper sweeps 500 ... 20,000).
+    capacity:
+        Seats per vehicle; ``None`` = unlimited (Fig. 9(c) "unlim").
+    constraints:
+        Waiting-time / detour guarantee for all requests.
+    algorithm:
+        ``"kinetic"`` (live trees) or any
+        :data:`repro.algorithms.ALGORITHM_REGISTRY` name for
+        reschedule-from-scratch vehicles.
+    tree_mode / hotspot_theta / eager_invalidation:
+        Kinetic-tree variant knobs (ignored for other algorithms).
+        ``hotspot_theta`` is in seconds of travel (the paper's θ is a
+        small distance; at 14 m/s one second is 14 m).
+    report_interval:
+        Seconds between vehicle location reports to the grid index
+        (paper: 20-60 s).
+    grid_cell_meters:
+        Grid-index cell size.
+    seed:
+        Master seed for fleet placement and cruising.
+    """
+
+    num_vehicles: int = 100
+    capacity: int | None = 4
+    constraints: ConstraintConfig = field(default=DEFAULT_CONSTRAINTS)
+    algorithm: str = "kinetic"
+    tree_mode: str = "slack"
+    hotspot_theta: float | None = None
+    eager_invalidation: bool = False
+    report_interval: float = 60.0
+    grid_cell_meters: float = 500.0
+    use_grid_index: bool = True
+    #: Assignment objective: "total" (the paper's — minimize the full
+    #: augmented-schedule cost) or "delta" (ablation — minimize the extra
+    #: cost over the vehicle's current plan).
+    objective: str = "total"
+    #: Per-insertion kinetic-tree expansion budget; exceeding it raises
+    #: :class:`~repro.exceptions.TreeBudgetExceeded` — the analogue of the
+    #: paper's time/3 GB cutoff in Fig. 9(c). ``None`` = unbounded.
+    tree_expansion_budget: int | None = None
+    #: Keep only this many cheapest schedules per tree after insertion
+    #: (Section V's load shedding, generalized). ``None`` = keep all.
+    tree_schedule_cap: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_vehicles < 1:
+            raise ValueError("num_vehicles must be >= 1")
+        if self.capacity is not None and self.capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        if self.report_interval <= 0:
+            raise ValueError("report_interval must be positive")

@@ -1,0 +1,205 @@
+"""Measurement: ACRT, ART buckets, occupancy and service statistics.
+
+Paper definitions (Section VI):
+
+* **ACRT** — average customer response time: "the average time required
+  to complete the search for the minimum time needed to satisfy a new
+  request" (one sample per request, across all candidate vehicles);
+* **ART** — average response time: "the average time needed to calculate
+  the best route for a taxi to follow given its current state, for
+  different request sizes" (one sample per (vehicle, request) quote,
+  bucketed by the vehicle's current number of active requests).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from statistics import mean
+
+
+class RunningStats:
+    """Streaming mean/min/max/count without storing samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+class ARTCollector:
+    """Per-quote compute times, bucketed by active-request count."""
+
+    def __init__(self):
+        self.buckets: dict[int, RunningStats] = defaultdict(RunningStats)
+
+    def record(self, active_trips: int, seconds: float) -> None:
+        self.buckets[active_trips].add(seconds)
+
+    def mean_for(self, active_trips: int) -> float | None:
+        """Mean ART (seconds) for a bucket, or ``None`` if unobserved."""
+        stats = self.buckets.get(active_trips)
+        return stats.mean if stats else None
+
+    def as_dict(self) -> dict[int, dict[str, float]]:
+        return {k: v.as_dict() for k, v in sorted(self.buckets.items())}
+
+
+class OccupancyTracker:
+    """Per-vehicle occupancy statistics (Section VI.B closing numbers:
+    max passengers, fleet average, top-20%-filled average)."""
+
+    def __init__(self):
+        self._max_by_vehicle: dict[int, int] = defaultdict(int)
+        self._sample_sum = 0.0
+        self._sample_count = 0
+
+    def observe(self, vehicle_id: int, load: int) -> None:
+        """Record a vehicle's load at a stop event."""
+        if load > self._max_by_vehicle[vehicle_id]:
+            self._max_by_vehicle[vehicle_id] = load
+        self._sample_sum += load
+        self._sample_count += 1
+
+    @property
+    def max_passengers(self) -> int:
+        """Largest simultaneous passenger count seen on any vehicle."""
+        return max(self._max_by_vehicle.values(), default=0)
+
+    @property
+    def mean_max_per_vehicle(self) -> float:
+        """Average over vehicles of their own maximum occupancy."""
+        if not self._max_by_vehicle:
+            return 0.0
+        return mean(self._max_by_vehicle.values())
+
+    @property
+    def top20_mean(self) -> float:
+        """Mean max-occupancy of the top 20% most filled vehicles."""
+        if not self._max_by_vehicle:
+            return 0.0
+        values = sorted(self._max_by_vehicle.values(), reverse=True)
+        top = values[: max(1, len(values) // 5)]
+        return mean(top)
+
+    @property
+    def mean_load_at_stops(self) -> float:
+        """Average load over all stop events (ride-pooling intensity)."""
+        if not self._sample_count:
+            return 0.0
+        return self._sample_sum / self._sample_count
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated outcome of one simulation run."""
+
+    num_requests: int = 0
+    num_assigned: int = 0
+    num_rejected: int = 0
+    acrt: RunningStats = field(default_factory=RunningStats)
+    art: ARTCollector = field(default_factory=ARTCollector)
+    occupancy: OccupancyTracker = field(default_factory=OccupancyTracker)
+    total_assignment_cost: float = 0.0
+    candidate_counts: RunningStats = field(default_factory=RunningStats)
+    wall_seconds: float = 0.0
+    #: request_id -> {"request", "vehicle", "assigned_cost", "pickup",
+    #: "dropoff"} — everything needed to audit the service guarantee.
+    service_log: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def service_rate(self) -> float:
+        """Fraction of requests assigned to a vehicle."""
+        if not self.num_requests:
+            return 0.0
+        return self.num_assigned / self.num_requests
+
+    @property
+    def acrt_ms(self) -> float:
+        """Mean ACRT in milliseconds (the paper's reporting unit)."""
+        return self.acrt.mean * 1000.0
+
+    def art_ms(self, active_trips: int) -> float | None:
+        """Mean ART in milliseconds for one bucket."""
+        value = self.art.mean_for(active_trips)
+        return None if value is None else value * 1000.0
+
+    def record_assignment(self, result) -> None:
+        """Fold one :class:`~repro.core.matching.AssignmentResult` in."""
+        self.num_requests += 1
+        self.acrt.add(result.elapsed)
+        self.candidate_counts.add(result.num_candidates)
+        for active, seconds in result.quote_timings:
+            self.art.record(active, seconds)
+        if result.assigned:
+            self.num_assigned += 1
+            self.total_assignment_cost += result.cost
+        else:
+            self.num_rejected += 1
+
+    def verify_service_guarantees(self, tolerance: float = 1e-5) -> list[str]:
+        """Audit the service log against Definition 2: every assigned
+        rider picked up by ``request_time + w`` and carried within
+        ``(1 + eps) d(s, e)``. Returns violation descriptions (empty =
+        all guarantees held). Requests whose service was still in flight
+        when the simulation ended are only checked for what happened.
+        """
+        violations: list[str] = []
+        for rid, entry in self.service_log.items():
+            request = entry.get("request")
+            if request is None:
+                continue
+            picked = entry.get("pickup")
+            dropped = entry.get("dropoff")
+            if picked is not None and picked > request.pickup_deadline + tolerance:
+                violations.append(
+                    f"request {rid}: picked up at {picked:.1f} after "
+                    f"deadline {request.pickup_deadline:.1f}"
+                )
+            if picked is not None and dropped is not None:
+                ride = dropped - picked
+                if ride > request.max_ride_cost + tolerance:
+                    violations.append(
+                        f"request {rid}: ride cost {ride:.1f} exceeds "
+                        f"(1+eps)d = {request.max_ride_cost:.1f}"
+                    )
+        return violations
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict for tables and EXPERIMENTS.md."""
+        return {
+            "requests": self.num_requests,
+            "assigned": self.num_assigned,
+            "rejected": self.num_rejected,
+            "service_rate": round(self.service_rate, 4),
+            "acrt_ms": round(self.acrt_ms, 4),
+            "mean_candidates": round(self.candidate_counts.mean, 2),
+            "max_passengers": self.occupancy.max_passengers,
+            "mean_max_occupancy": round(self.occupancy.mean_max_per_vehicle, 3),
+            "top20_mean_occupancy": round(self.occupancy.top20_mean, 3),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }

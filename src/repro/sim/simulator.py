@@ -1,0 +1,171 @@
+"""Event-driven ridesharing simulation (Section VI's framework).
+
+The simulation replays a trip stream in request-time order. Vehicles
+cruise when idle and execute committed schedules otherwise; each new
+request is dispatched immediately against the candidate vehicles from
+the grid index; assigned vehicles re-route on the fly.
+
+Event causality: committed plans are versioned — when a vehicle is
+re-planned (wins a request), its in-flight stop-arrival event becomes
+stale and is dropped when popped; the commit schedules a fresh one.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.core.matching import Dispatcher
+from repro.sim.config import SimulationConfig
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.fleet import build_fleet
+from repro.sim.metrics import SimulationReport
+from repro.sim.workload import TripSpec
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid_index import GridIndex
+
+
+class Simulation:
+    """One configured simulation run over a trip stream."""
+
+    def __init__(
+        self,
+        engine,
+        config: SimulationConfig,
+        trips: list[TripSpec],
+    ):
+        self.engine = engine
+        self.config = config
+        self.trips = sorted(trips, key=lambda t: t.request_time)
+        self.start_time = self.trips[0].request_time if self.trips else 0.0
+        self.horizon = self.trips[-1].request_time if self.trips else 0.0
+
+        self.agents = build_fleet(engine, config, start_time=self.start_time)
+        self._agents_by_id = {a.vehicle.vehicle_id: a for a in self.agents}
+
+        self.grid_index = None
+        if config.use_grid_index and engine.graph.coords is not None:
+            coords = engine.graph.coords
+            bounds = BoundingBox(
+                float(np.min(coords[:, 0])),
+                float(np.min(coords[:, 1])),
+                float(np.max(coords[:, 0])),
+                float(np.max(coords[:, 1])),
+            )
+            self.grid_index = GridIndex(bounds, cell_meters=config.grid_cell_meters)
+
+        self.dispatcher = Dispatcher(
+            engine,
+            self.agents,
+            grid_index=self.grid_index,
+            staleness_seconds=config.report_interval,
+            objective=config.objective,
+        )
+        self.report = SimulationReport()
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Process every event; returns the aggregated report."""
+        started = _time.perf_counter()
+        queue = EventQueue()
+        for spec in self.trips:
+            queue.push(Event(spec.request_time, EventKind.REQUEST_ARRIVAL, spec))
+        if self.grid_index is not None:
+            for agent in self.agents:
+                self._report_location(agent, self.start_time)
+                queue.push(
+                    Event(
+                        self.start_time + self.config.report_interval,
+                        EventKind.LOCATION_REPORT,
+                        agent.vehicle.vehicle_id,
+                    )
+                )
+
+        while queue:
+            event = queue.pop()
+            if event.kind is EventKind.REQUEST_ARRIVAL:
+                self._handle_request(event.payload, event.time, queue)
+            elif event.kind is EventKind.STOP_REACHED:
+                self._handle_stop(event.payload, event.time, queue)
+            else:
+                self._handle_report(event.payload, event.time, queue)
+
+        self.report.wall_seconds = _time.perf_counter() - started
+        self.report.extra["engine_stats"] = getattr(
+            self.engine, "stats", lambda: {}
+        )()
+        if self.grid_index is not None:
+            self.report.extra["grid_stats"] = self.grid_index.stats()
+        return self.report
+
+    # ------------------------------------------------------------------
+    def _handle_request(self, spec: TripSpec, now: float, queue: EventQueue) -> None:
+        request = self.dispatcher.make_request(
+            spec.origin,
+            spec.destination,
+            now,
+            self.config.constraints.max_wait_seconds,
+            self.config.constraints.detour_epsilon,
+        )
+        if request is None:
+            return
+        result = self.dispatcher.submit(request, now)
+        self.report.record_assignment(result)
+        if result.assigned:
+            self.report.service_log[request.request_id] = {
+                "request": request,
+                "vehicle": result.winner.vehicle.vehicle_id,
+                "assigned_cost": result.cost,
+            }
+            agent = result.winner
+            self._schedule_next_stop(agent, queue)
+            if self.grid_index is not None:
+                self._report_location(agent, now)
+
+    def _handle_stop(self, payload, now: float, queue: EventQueue) -> None:
+        vehicle_id, plan_version = payload
+        agent = self._agents_by_id[vehicle_id]
+        if agent.vehicle.plan_version != plan_version:
+            return  # stale: the vehicle re-planned since this was scheduled
+        serviced = agent.arrive_next()
+        for arrival, stop in serviced:
+            entry = self.report.service_log.setdefault(stop.request_id, {})
+            entry["pickup" if stop.is_pickup else "dropoff"] = arrival
+        self.report.occupancy.observe(vehicle_id, agent.load)
+        if self.grid_index is not None:
+            self._report_location(agent, now)
+        if agent.next_stop() is not None:
+            self._schedule_next_stop(agent, queue)
+        else:
+            last_arrival, last_stop = serviced[-1]
+            agent.vehicle.set_idle(last_stop.vertex, last_arrival)
+
+    def _handle_report(self, vehicle_id: int, now: float, queue: EventQueue) -> None:
+        agent = self._agents_by_id[vehicle_id]
+        self._report_location(agent, now)
+        next_time = now + self.config.report_interval
+        if next_time <= self.horizon:
+            queue.push(Event(next_time, EventKind.LOCATION_REPORT, vehicle_id))
+
+    def _schedule_next_stop(self, agent, queue: EventQueue) -> None:
+        upcoming = agent.next_stop()
+        if upcoming is None:
+            return
+        arrival, _stops = upcoming
+        queue.push(
+            Event(
+                arrival,
+                EventKind.STOP_REACHED,
+                (agent.vehicle.vehicle_id, agent.vehicle.plan_version),
+            )
+        )
+
+    def _report_location(self, agent, now: float) -> None:
+        x, y = agent.vehicle.position_at(now, self.engine.graph)
+        self.grid_index.update(agent.vehicle.vehicle_id, x, y)
+
+
+def simulate(engine, config: SimulationConfig, trips: list[TripSpec]) -> SimulationReport:
+    """Convenience one-shot: build and run a :class:`Simulation`."""
+    return Simulation(engine, config, trips).run()

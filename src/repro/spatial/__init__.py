@@ -1,0 +1,13 @@
+"""Spatial indexing of moving vehicles.
+
+The paper (Section IV, "Updating ∆ and Tree") weighs sophisticated moving
+object indexes (TPR-tree, Bx-tree, ...) against maintenance cost and
+chooses "a simple grid-based spatial index. The index is updated when a
+vehicle moves across boundaries of the index bounding box." This package
+implements that index plus the geometry helpers it needs.
+"""
+
+from repro.spatial.geometry import BoundingBox, euclidean_distance
+from repro.spatial.grid_index import GridIndex
+
+__all__ = ["GridIndex", "BoundingBox", "euclidean_distance"]

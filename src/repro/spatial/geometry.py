@@ -1,0 +1,53 @@
+"""Planar geometry helpers for the spatial index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import hypot
+
+
+def euclidean_distance(a: tuple[float, float], b: tuple[float, float]) -> float:
+    """Straight-line distance between two planar points (meters)."""
+    return hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """Axis-aligned bounding box in meters."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self):
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError("bounding box has negative extent")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point lies inside (inclusive) the box."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+    def clamp(self, x: float, y: float) -> tuple[float, float]:
+        """The closest point inside the box."""
+        return (
+            min(max(x, self.min_x), self.max_x),
+            min(max(y, self.min_y), self.max_y),
+        )
+
+    @staticmethod
+    def of_points(points) -> "BoundingBox":
+        """Smallest box containing all ``(x, y)`` points."""
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        if not xs:
+            raise ValueError("cannot bound an empty point set")
+        return BoundingBox(min(xs), min(ys), max(xs), max(ys))

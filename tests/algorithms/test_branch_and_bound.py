@@ -1,0 +1,83 @@
+"""Branch and bound: same optimum as brute force, valid bounds."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.branch_and_bound import BranchAndBound
+from repro.algorithms.brute_force import BruteForce
+from tests.algorithms.test_brute_force import make_problem
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_matches_brute_force(city_engine, seed):
+    rng = np.random.default_rng(seed)
+    problem = make_problem(city_engine, rng, num_requests=3)
+    bb = BranchAndBound(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert (bb is None) == (bf is None)
+    if bf is not None:
+        assert bb.cost == pytest.approx(bf.cost, rel=1e-9)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_matches_brute_force_with_onboard(city_engine, seed):
+    from repro.core.request import TripRequest
+
+    rng = np.random.default_rng(seed + 50)
+    problem = make_problem(city_engine, rng, num_requests=2)
+    origin = problem.start_vertex if problem.start_vertex != 55 else 54
+    onboard = TripRequest(
+        100, origin, 55, 0.0, 600.0, 3.0, city_engine.distance(origin, 55)
+    )
+    problem = type(problem)(
+        problem.start_vertex,
+        problem.start_time,
+        {onboard: 0.0},
+        problem.pending,
+        problem.new_request,
+        problem.capacity,
+    )
+    bb = BranchAndBound(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert (bb is None) == (bf is None)
+    if bf is not None:
+        assert bb.cost == pytest.approx(bf.cost, rel=1e-9)
+
+
+def test_prunes_versus_bruteforce(city_engine):
+    """On larger instances B&B should expand fewer nodes (the paper's
+    observation for large request counts)."""
+    rng = np.random.default_rng(9)
+    problem = make_problem(
+        city_engine, rng, num_requests=5, capacity=8, eps=2.0, wait=3000.0
+    )
+    bb = BranchAndBound(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert bb is not None and bf is not None
+    assert bb.expansions < bf.expansions
+
+
+def test_empty_problem(city_engine):
+    from repro.core.problem import SchedulingProblem
+
+    result = BranchAndBound(city_engine).solve(SchedulingProblem(0, 0.0, {}, (), None, 4))
+    assert result is not None and result.cost == 0.0
+
+
+def test_infeasible(city_engine, make_request):
+    from repro.core.problem import SchedulingProblem
+
+    request = make_request(99, 0, max_wait=0.5)
+    assert (
+        BranchAndBound(city_engine).solve(
+            SchedulingProblem(0, 0.0, {}, (), request, 4)
+        )
+        is None
+    )
+
+
+def test_result_valid(city_engine, rng):
+    problem = make_problem(city_engine, rng, num_requests=3)
+    result = BranchAndBound(city_engine).solve(problem)
+    assert result is not None
+    assert problem.evaluate(city_engine, result.stops) is not None

@@ -1,0 +1,121 @@
+"""Brute-force scheduler: exact optimality on small instances."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute_force import BruteForce
+from repro.core.problem import SchedulingProblem
+from repro.core.request import TripRequest
+from repro.core.schedule import evaluate_schedule
+
+
+def reference_best(engine, problem):
+    """Slow but obviously correct: filter all permutations."""
+    stops = list(problem.stops_to_schedule)
+    best = None
+    for perm in itertools.permutations(stops):
+        evaluation = None
+        seen = set(problem.onboard_pickup_times)
+        ok = True
+        for stop in perm:
+            if stop.is_pickup:
+                seen.add(stop.request_id)
+            elif stop.request_id not in seen:
+                ok = False
+                break
+        if ok:
+            evaluation = evaluate_schedule(
+                engine,
+                problem.start_vertex,
+                problem.start_time,
+                perm,
+                problem.onboard_pickup_times,
+                capacity=problem.capacity,
+                initial_load=len(problem.onboard),
+            )
+        if evaluation is not None and (best is None or evaluation.cost < best):
+            best = evaluation.cost
+    return best
+
+
+def make_problem(engine, rng, num_requests=2, capacity=4, eps=1.0, wait=900.0):
+    n = engine.graph.num_vertices
+    requests = []
+    rid = 0
+    while len(requests) < num_requests:
+        o, d = (int(x) for x in rng.integers(0, n, 2))
+        if o == d:
+            continue
+        requests.append(TripRequest(rid, o, d, 0.0, wait, eps, engine.distance(o, d)))
+        rid += 1
+    *pending, new = requests
+    return SchedulingProblem(
+        int(rng.integers(0, n)), 0.0, {}, tuple(pending), new, capacity
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_reference(city_engine, seed):
+    rng = np.random.default_rng(seed)
+    problem = make_problem(city_engine, rng, num_requests=3)
+    result = BruteForce(city_engine).solve(problem)
+    expected = reference_best(city_engine, problem)
+    if expected is None:
+        assert result is None
+    else:
+        assert result is not None
+        assert result.cost == pytest.approx(expected, rel=1e-9)
+
+
+def test_result_is_valid_schedule(city_engine, rng):
+    problem = make_problem(city_engine, rng, num_requests=3)
+    result = BruteForce(city_engine).solve(problem)
+    assert result is not None
+    evaluation = problem.evaluate(city_engine, result.stops)
+    assert evaluation is not None
+    assert evaluation.cost == pytest.approx(result.cost)
+    assert evaluation.arrivals == pytest.approx(result.arrivals)
+
+
+def test_empty_problem(city_engine):
+    problem = SchedulingProblem(0, 0.0, {}, (), None, 4)
+    result = BruteForce(city_engine).solve(problem)
+    assert result is not None
+    assert result.cost == 0.0
+    assert result.is_empty
+
+
+def test_infeasible_wait(city_engine, make_request):
+    request = make_request(99, 0, max_wait=0.5)
+    problem = SchedulingProblem(0, 0.0, {}, (), request, 4)
+    assert BruteForce(city_engine).solve(problem) is None
+
+
+def test_capacity_forces_sequential(city_engine, make_request):
+    # Capacity 1: the two trips can never overlap in the vehicle.
+    r1 = make_request(5, 20, epsilon=5.0, max_wait=5000.0)
+    r2 = make_request(6, 21, epsilon=5.0, max_wait=5000.0)
+    problem = SchedulingProblem(0, 0.0, {}, (r1,), r2, 1)
+    result = BruteForce(city_engine).solve(problem)
+    assert result is not None
+    kinds = [s.kind.value for s in result.stops]
+    assert kinds in (
+        ["pickup", "dropoff", "pickup", "dropoff"],
+    )
+
+
+def test_counts_expansions(city_engine, rng):
+    problem = make_problem(city_engine, rng, num_requests=2)
+    result = BruteForce(city_engine).solve(problem)
+    assert result.expansions > 0
+
+
+def test_onboard_only_problem(city_engine, make_request):
+    r = make_request(5, 20, epsilon=2.0)
+    problem = SchedulingProblem(5, 10.0, {r: 10.0}, (), None, 4)
+    result = BruteForce(city_engine).solve(problem)
+    assert result is not None
+    assert len(result.stops) == 1
+    assert result.stops[0].is_dropoff

@@ -1,0 +1,69 @@
+"""Two-phase insertion heuristic."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute_force import BruteForce
+from repro.algorithms.insertion import TwoPhaseInsertion
+from repro.core.problem import SchedulingProblem
+from tests.algorithms.test_brute_force import make_problem
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_never_beats_brute_force(city_engine, seed):
+    rng = np.random.default_rng(seed)
+    problem = make_problem(city_engine, rng, num_requests=3)
+    ins = TwoPhaseInsertion(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    if ins is not None:
+        assert bf is not None
+        assert ins.cost >= bf.cost - 1e-9
+
+
+def test_result_valid(city_engine, rng):
+    problem = make_problem(city_engine, rng, num_requests=3)
+    result = TwoPhaseInsertion(city_engine).solve(problem)
+    if result is not None:
+        assert problem.evaluate(city_engine, result.stops) is not None
+
+
+def test_preserves_committed_order(city_engine, make_request):
+    """Existing pending trips keep their relative order."""
+    r1 = make_request(5, 20, epsilon=3.0, max_wait=3000.0)
+    r2 = make_request(30, 50, epsilon=3.0, max_wait=3000.0)
+    new = make_request(6, 21, epsilon=3.0, max_wait=3000.0)
+    problem = SchedulingProblem(0, 0.0, {}, (r1, r2), new, 8)
+    result = TwoPhaseInsertion(city_engine).solve(problem)
+    assert result is not None
+    old_order = [s for s in result.stops if s.request_id != new.request_id]
+    expected = [
+        s
+        for s in SchedulingProblem(0, 0.0, {}, (r1, r2), None, 8).stops_to_schedule
+    ]
+    assert old_order == expected
+
+
+def test_single_request(city_engine, make_request):
+    request = make_request(5, 20)
+    problem = SchedulingProblem(0, 0.0, {}, (), request, 4)
+    result = TwoPhaseInsertion(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert result.cost == pytest.approx(bf.cost)
+
+
+def test_no_new_request(city_engine, make_request):
+    r1 = make_request(5, 20, epsilon=3.0)
+    problem = SchedulingProblem(0, 0.0, {}, (r1,), None, 4)
+    result = TwoPhaseInsertion(city_engine).solve(problem)
+    assert result is not None
+    assert len(result.stops) == 2
+
+
+def test_infeasible(city_engine, make_request):
+    request = make_request(99, 0, max_wait=0.5)
+    assert (
+        TwoPhaseInsertion(city_engine).solve(
+            SchedulingProblem(0, 0.0, {}, (), request, 4)
+        )
+        is None
+    )

@@ -1,0 +1,87 @@
+"""MIP scheduler: optimality, constraints, degenerate cases."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute_force import BruteForce
+from repro.algorithms.mip import MixedIntegerProgramming
+from repro.core.problem import SchedulingProblem
+from tests.algorithms.test_brute_force import make_problem
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_matches_brute_force(city_engine, seed):
+    rng = np.random.default_rng(seed)
+    problem = make_problem(city_engine, rng, num_requests=2)
+    mip = MixedIntegerProgramming(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert (mip is None) == (bf is None)
+    if bf is not None:
+        assert mip.cost == pytest.approx(bf.cost, rel=1e-4)
+
+
+def test_matches_with_onboard(city_engine, make_request):
+    onboard = make_request(0, 55, epsilon=3.0)
+    pending = make_request(10, 30, epsilon=2.0, max_wait=2000.0)
+    new = make_request(12, 40, epsilon=2.0, max_wait=2000.0)
+    problem = SchedulingProblem(0, 0.0, {onboard: 0.0}, (pending,), new, 4)
+    mip = MixedIntegerProgramming(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert (mip is None) == (bf is None)
+    if bf is not None:
+        assert mip.cost == pytest.approx(bf.cost, rel=1e-4)
+
+
+def test_capacity_enforced(city_engine, make_request):
+    """Capacity 1 forbids overlapping riders; MIP must agree with BF."""
+    r1 = make_request(5, 20, epsilon=5.0, max_wait=5000.0)
+    r2 = make_request(6, 21, epsilon=5.0, max_wait=5000.0)
+    problem = SchedulingProblem(0, 0.0, {}, (r1,), r2, 1)
+    mip = MixedIntegerProgramming(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert mip is not None and bf is not None
+    assert mip.cost == pytest.approx(bf.cost, rel=1e-4)
+    kinds = [s.kind.value for s in mip.stops]
+    assert kinds == ["pickup", "dropoff", "pickup", "dropoff"]
+
+
+def test_empty_problem(city_engine):
+    result = MixedIntegerProgramming(city_engine).solve(
+        SchedulingProblem(0, 0.0, {}, (), None, 4)
+    )
+    assert result is not None and result.cost == 0.0
+
+
+def test_infeasible_wait(city_engine, make_request):
+    request = make_request(99, 0, max_wait=0.5)
+    assert (
+        MixedIntegerProgramming(city_engine).solve(
+            SchedulingProblem(0, 0.0, {}, (), request, 4)
+        )
+        is None
+    )
+
+
+def test_infeasible_onboard_budget(city_engine, make_request):
+    """Onboard rider's remaining ride budget already blown."""
+    onboard = make_request(0, 50, epsilon=0.0)
+    # Vehicle is far off the rider's shortest path with zero tolerance.
+    problem = SchedulingProblem(99, 500.0, {onboard: 0.0}, (), None, 4)
+    assert MixedIntegerProgramming(city_engine).solve(problem) is None
+
+
+def test_result_is_exactly_validated(city_engine, rng):
+    problem = make_problem(city_engine, rng, num_requests=2)
+    result = MixedIntegerProgramming(city_engine).solve(problem)
+    assert result is not None
+    assert problem.evaluate(city_engine, result.stops) is not None
+
+
+def test_colocated_stops_no_zero_cycles(city_engine, make_request):
+    """Stops sharing a vertex must not break the MTZ acyclicity."""
+    r1 = make_request(40, 70, epsilon=4.0, max_wait=4000.0)
+    r2 = make_request(40, 70, epsilon=4.0, max_wait=4000.0)
+    problem = SchedulingProblem(0, 0.0, {}, (r1,), r2, 4)
+    result = MixedIntegerProgramming(city_engine).solve(problem)
+    assert result is not None
+    assert len(result.stops) == 4

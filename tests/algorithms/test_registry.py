@@ -1,0 +1,70 @@
+"""Algorithm registry and the kinetic one-shot adapter."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHM_REGISTRY,
+    BranchAndBound,
+    BruteForce,
+    KineticTreeAlgorithm,
+    make_algorithm,
+)
+from repro.core.problem import SchedulingProblem
+from tests.algorithms.test_brute_force import make_problem
+
+
+def test_registry_contents():
+    for name in ("brute_force", "branch_and_bound", "mip", "insertion", "kinetic"):
+        assert name in ALGORITHM_REGISTRY
+
+
+def test_make_algorithm(city_engine):
+    assert isinstance(make_algorithm("brute_force", city_engine), BruteForce)
+    assert isinstance(make_algorithm("branch_and_bound", city_engine), BranchAndBound)
+    assert isinstance(make_algorithm("kinetic", city_engine), KineticTreeAlgorithm)
+
+
+def test_make_algorithm_unknown(city_engine):
+    with pytest.raises(ValueError):
+        make_algorithm("simulated_annealing", city_engine)
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_kinetic_adapter_matches_brute_force(city_engine, seed):
+    rng = np.random.default_rng(seed)
+    problem = make_problem(city_engine, rng, num_requests=3)
+    kin = KineticTreeAlgorithm(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert (kin is None) == (bf is None)
+    if bf is not None:
+        assert kin.cost == pytest.approx(bf.cost, rel=1e-9)
+
+
+@pytest.mark.parametrize("mode", ["basic", "slack"])
+def test_kinetic_adapter_modes_agree(city_engine, mode, rng):
+    problem = make_problem(city_engine, rng, num_requests=3)
+    result = KineticTreeAlgorithm(city_engine, mode=mode).solve(problem)
+    reference = BruteForce(city_engine).solve(problem)
+    assert (result is None) == (reference is None)
+    if reference is not None:
+        assert result.cost == pytest.approx(reference.cost, rel=1e-9)
+
+
+def test_kinetic_adapter_with_onboard(city_engine, make_request):
+    onboard = make_request(0, 55, epsilon=3.0)
+    new = make_request(10, 30, epsilon=2.0, max_wait=2000.0)
+    problem = SchedulingProblem(0, 0.0, {onboard: 0.0}, (), new, 4)
+    kin = KineticTreeAlgorithm(city_engine).solve(problem)
+    bf = BruteForce(city_engine).solve(problem)
+    assert (kin is None) == (bf is None)
+    if bf is not None:
+        assert kin.cost == pytest.approx(bf.cost, rel=1e-9)
+
+
+def test_kinetic_adapter_no_new_request(city_engine, make_request):
+    r1 = make_request(5, 20, epsilon=2.0)
+    problem = SchedulingProblem(0, 0.0, {}, (r1,), None, 4)
+    result = KineticTreeAlgorithm(city_engine).solve(problem)
+    assert result is not None
+    assert len(result.stops) == 2

@@ -1,0 +1,174 @@
+"""Kinetic tree: construction, insertion, commitment, movement."""
+
+import pytest
+
+from repro.core.kinetic.tree import KineticTree
+from repro.exceptions import ScheduleError, TreeBudgetExceeded
+
+
+def test_empty_tree(city_engine):
+    tree = KineticTree(city_engine, start_vertex=0)
+    assert tree.num_active_trips == 0
+    assert tree.size() == 0
+    assert tree.num_schedules() == 0
+    assert tree.best_schedule() is None
+
+
+def test_first_insert_creates_chain(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    request = make_request(5, 20)
+    trial = tree.try_insert(request, 0, 0.0)
+    assert trial is not None
+    assert trial.best_cost == pytest.approx(
+        city_engine.distance(0, 5) + city_engine.distance(5, 20)
+    )
+    tree.commit(trial)
+    assert tree.num_active_trips == 1
+    assert tree.num_schedules() == 1
+    cost, stops = tree.best_schedule()
+    assert [s.kind.value for s in stops] == ["pickup", "dropoff"]
+    tree.validate()
+
+
+def test_insert_infeasible_wait(city_engine, make_request):
+    tree = KineticTree(city_engine, 0)
+    # Waiting time 1 second: the pickup is unreachable in time.
+    request = make_request(99, 0, max_wait=1.0)
+    assert tree.try_insert(request, 0, 0.0) is None
+
+
+def test_insert_does_not_mutate_tree(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    first = tree.try_insert(make_request(5, 20), 0, 0.0)
+    tree.commit(first)
+    size_before = tree.size()
+    trial = tree.try_insert(make_request(6, 21), tree.root_vertex, 0.0)
+    assert trial is not None
+    assert tree.size() == size_before  # trial untouched until commit
+    tree.validate()
+
+
+def test_double_insert_same_request_rejected(city_engine, make_request):
+    tree = KineticTree(city_engine, 0)
+    request = make_request(5, 20)
+    tree.commit(tree.try_insert(request, 0, 0.0))
+    with pytest.raises(ScheduleError):
+        tree.try_insert(request, 0, 1.0)
+
+
+def test_second_insert_materializes_alternatives(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    tree.commit(tree.try_insert(make_request(5, 20, epsilon=3.0, max_wait=2000.0), 0, 0.0))
+    trial = tree.try_insert(
+        make_request(6, 21, epsilon=3.0, max_wait=2000.0), 0, 0.0
+    )
+    assert trial is not None
+    tree.commit(trial)
+    # With loose constraints several interleavings must survive.
+    assert tree.num_schedules() >= 2
+    tree.validate()
+
+
+def test_advance_moves_root_and_prunes(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    tree.commit(tree.try_insert(make_request(5, 20), 0, 0.0))
+    node = tree.advance()
+    assert node.stops[0].is_pickup
+    assert tree.root_vertex == 5
+    assert tree.load == 1
+    assert 0 in tree.onboard
+    node = tree.advance()
+    assert node.stops[0].is_dropoff
+    assert tree.num_active_trips == 0
+    assert tree.load == 0
+
+
+def test_advance_applies_lemma1(city_engine, make_request):
+    """After reaching a stop, only schedules sharing that prefix remain."""
+    tree = KineticTree(city_engine, 0, capacity=4)
+    tree.commit(tree.try_insert(make_request(5, 20, epsilon=3.0, max_wait=2000.0), 0, 0.0))
+    trial = tree.try_insert(make_request(6, 21, epsilon=3.0, max_wait=2000.0), 0, 0.0)
+    tree.commit(trial)
+    schedules_before = tree.num_schedules()
+    first_committed = tree.committed[0]
+    tree.advance()
+    # All surviving schedules start with the executed node's stops.
+    assert tree.children == first_committed.children
+    assert tree.num_schedules() <= schedules_before
+    tree.validate()
+
+
+def test_advance_without_commitment_raises(city_engine):
+    tree = KineticTree(city_engine, 0)
+    with pytest.raises(ScheduleError):
+        tree.advance()
+
+
+def test_committed_path_remains_best(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    tree.commit(tree.try_insert(make_request(5, 20, epsilon=2.0), 0, 0.0))
+    tree.commit(tree.try_insert(make_request(8, 30, epsilon=2.0), tree.root_vertex, 0.0))
+    cost, stops = tree.best_schedule()
+    # The committed path is the min-cost leaf of the tree.
+    all_costs = [arr[-1] for _, arr in tree.all_schedules()]
+    assert min(all_costs) == pytest.approx(tree.root_time + cost)
+
+
+def test_reroot_moves_decision_point(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    tree.commit(tree.try_insert(make_request(5, 20), 0, 0.0))
+    trial = tree.reroot(5, 100.0)
+    assert trial is not None
+    tree.commit(trial)
+    assert tree.root_vertex == 5
+    tree.validate()
+
+
+def test_reroot_empty_tree(city_engine):
+    tree = KineticTree(city_engine, 0)
+    trial = tree.reroot(7, 50.0)
+    tree.commit(trial)
+    assert tree.root_vertex == 7
+    assert tree.root_time == 50.0
+
+
+def test_expansion_budget(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=None)
+    tree.commit(
+        tree.try_insert(make_request(5, 20, epsilon=3.0, max_wait=2000.0), 0, 0.0)
+    )
+    tree.expansion_budget = 2
+    with pytest.raises(TreeBudgetExceeded):
+        tree.try_insert(make_request(6, 21, epsilon=3.0, max_wait=2000.0), 0, 0.0)
+
+
+def test_invalid_mode():
+    with pytest.raises(ValueError):
+        KineticTree(None, 0, mode="quantum")
+
+
+def test_invalid_theta():
+    with pytest.raises(ValueError):
+        KineticTree(None, 0, hotspot_theta=-1.0)
+
+
+def test_invalid_budget():
+    with pytest.raises(ValueError):
+        KineticTree(None, 0, expansion_budget=0)
+
+
+def test_repr(city_engine):
+    assert "KineticTree" in repr(KineticTree(city_engine, 0))
+
+
+def test_eager_invalidation_prunes_stale(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4, eager_invalidation=True)
+    # Tight wait: alternatives die as time passes.
+    tree.commit(tree.try_insert(make_request(5, 20, max_wait=120.0), 0, 0.0))
+    tree.commit(
+        tree.try_insert(
+            make_request(6, 21, max_wait=120.0, epsilon=2.0), tree.root_vertex, 0.0
+        )
+    )
+    tree.advance()  # eager mode revalidates and prunes in place
+    tree.validate()

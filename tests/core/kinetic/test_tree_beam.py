@@ -1,0 +1,84 @@
+"""Schedule-cap (beam) load shedding and the tree renderer."""
+
+import pytest
+
+from repro.core.kinetic.tree import KineticTree, render_tree
+
+
+def grow(tree, make_request, specs):
+    accepted = 0
+    for origin, destination in specs:
+        request = make_request(
+            origin, destination, epsilon=2.5, max_wait=2500.0
+        )
+        trial = tree.try_insert(request, tree.root_vertex, tree.root_time)
+        if trial is not None:
+            tree.commit(trial)
+            accepted += 1
+    return accepted
+
+
+SPECS = [(5, 60), (7, 62), (15, 70), (17, 72)]
+
+
+def test_cap_limits_schedule_count(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=None, schedule_cap=3)
+    grow(tree, make_request, SPECS)
+    assert tree.num_schedules() <= 3
+
+
+def test_capped_tree_schedules_remain_valid(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=None, schedule_cap=2)
+    grow(tree, make_request, SPECS)
+    tree.validate()
+
+
+def test_cap_keeps_the_best_schedule(city_engine, make_request):
+    """The beam keeps the cheapest schedules, so per-insertion best cost
+    matches the uncapped tree's best on the kept-set-compatible stream."""
+    exact = KineticTree(city_engine, 0, capacity=None)
+    capped = KineticTree(city_engine, 0, capacity=None, schedule_cap=4)
+    factory_a = [make_request(o, d, epsilon=2.5, max_wait=2500.0) for o, d in SPECS]
+    for request in factory_a:
+        trial_e = exact.try_insert(request, exact.root_vertex, 0.0)
+        trial_c = capped.try_insert(request, capped.root_vertex, 0.0)
+        if trial_e is None:
+            assert trial_c is None
+            continue
+        assert trial_c is not None
+        # The capped tree searched a subset, so it can never be cheaper.
+        assert trial_c.best_cost >= trial_e.best_cost - 1e-9
+        exact.commit(trial_e)
+        capped.commit(trial_c)
+    # Both committed paths exist and the capped one is executable.
+    capped.validate()
+
+
+def test_cap_one_degenerates_to_single_schedule(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=None, schedule_cap=1)
+    accepted = grow(tree, make_request, SPECS)
+    assert accepted >= 2
+    assert tree.num_schedules() == 1
+    tree.validate()
+
+
+def test_cap_validation():
+    with pytest.raises(ValueError):
+        KineticTree(None, 0, schedule_cap=0)
+
+
+def test_render_tree(city_engine, make_request):
+    tree = KineticTree(city_engine, 0, capacity=4)
+    grow(tree, make_request, SPECS[:2])
+    text = render_tree(tree)
+    assert "root @v0" in text
+    assert "P0" in text and "D0" in text
+    assert "Δ=" in text
+    # Committed nodes are starred.
+    assert "*" in text
+
+
+def test_render_empty_tree(city_engine):
+    tree = KineticTree(city_engine, 0)
+    text = render_tree(tree)
+    assert "trips=0" in text

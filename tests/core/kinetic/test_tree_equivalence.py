@@ -1,0 +1,135 @@
+"""The tree materializes exactly the valid schedules, and its best
+schedule matches brute force — the paper's core correctness claims."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.algorithms.brute_force import BruteForce
+from repro.core.kinetic.tree import KineticTree
+from repro.core.problem import SchedulingProblem
+from repro.core.schedule import evaluate_schedule
+from repro.core.stop import dropoff, pickup
+
+
+def enumerate_valid_orders(engine, problem):
+    """Reference: all valid stop orderings by raw permutation filtering."""
+    stops = list(problem.stops_to_schedule)
+    valid = []
+    for perm in itertools.permutations(stops):
+        seen = set(problem.onboard_pickup_times)
+        ok = True
+        for stop in perm:
+            if stop.is_pickup:
+                seen.add(stop.request_id)
+            elif stop.request_id not in seen:
+                ok = False
+                break
+        if not ok:
+            continue
+        evaluation = evaluate_schedule(
+            engine,
+            problem.start_vertex,
+            problem.start_time,
+            perm,
+            problem.onboard_pickup_times,
+            capacity=problem.capacity,
+            initial_load=len(problem.onboard),
+        )
+        if evaluation is not None:
+            valid.append(perm)
+    return valid
+
+
+def random_problem(engine, rng, num_pending=2, with_onboard=False):
+    n = engine.graph.num_vertices
+    requests = []
+    rid = 0
+    while len(requests) < num_pending:
+        o, d = (int(x) for x in rng.integers(0, n, 2))
+        if o == d:
+            continue
+        from repro.core.request import TripRequest
+
+        requests.append(
+            TripRequest(rid, o, d, 0.0, 900.0, 1.0, engine.distance(o, d))
+        )
+        rid += 1
+    onboard = {}
+    if with_onboard:
+        while True:
+            o, d = (int(x) for x in rng.integers(0, n, 2))
+            if o != d:
+                break
+        from repro.core.request import TripRequest
+
+        onboard = {
+            TripRequest(99, o, d, 0.0, 900.0, 2.0, engine.distance(o, d)): 0.0
+        }
+    start = int(rng.integers(0, n))
+    return SchedulingProblem(start, 0.0, onboard, tuple(requests), None, 4)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_tree_materializes_exactly_the_valid_schedules(city_engine, seed):
+    rng = np.random.default_rng(seed)
+    problem = random_problem(city_engine, rng, num_pending=2, with_onboard=(seed % 2 == 0))
+    tree = KineticTree.from_problem(city_engine, problem, mode="basic")
+    expected = {perm for perm in enumerate_valid_orders(city_engine, problem)}
+    if tree is None:
+        assert not expected
+        return
+    actual = {stops for stops, _ in tree.all_schedules()}
+    assert actual == expected
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_incremental_insertion_matches_bruteforce_best(city_engine, seed):
+    """Insert requests one by one; after each commit the tree's best
+    schedule cost equals a from-scratch brute-force solve."""
+    rng = np.random.default_rng(100 + seed)
+    n = city_engine.graph.num_vertices
+    tree = KineticTree(city_engine, 0, capacity=4, mode="basic")
+    accepted = []
+    t = 0.0
+    from repro.core.request import TripRequest
+
+    for rid in range(4):
+        o, d = (int(x) for x in rng.integers(0, n, 2))
+        if o == d:
+            continue
+        request = TripRequest(
+            rid, o, d, t, 600.0, 0.8, city_engine.distance(o, d)
+        )
+        trial = tree.try_insert(request, tree.root_vertex, t)
+        problem = SchedulingProblem(
+            tree.root_vertex, t, {}, tuple(accepted + [request]), None, 4
+        )
+        reference = BruteForce(city_engine).solve(problem)
+        if trial is None:
+            assert reference is None
+            continue
+        assert reference is not None
+        assert trial.best_cost == pytest.approx(reference.cost, rel=1e-9)
+        tree.commit(trial)
+        accepted.append(request)
+        tree.validate()
+
+
+def test_insertion_after_pickup_respects_onboard(city_engine, make_request):
+    """Once a rider is onboard, new insertions must honor their remaining
+    ride budget measured from the actual pickup time."""
+    tree = KineticTree(city_engine, 0, capacity=4, mode="basic")
+    first = make_request(5, 20, epsilon=0.0)  # zero detour tolerance
+    tree.commit(tree.try_insert(first, 0, 0.0))
+    tree.advance()  # pick the rider up
+    # Any request that would detour the onboard rider must be rejected or
+    # scheduled entirely after their dropoff.
+    second = make_request(50, 60, epsilon=2.0, max_wait=3000.0)
+    trial = tree.try_insert(second, tree.root_vertex, tree.root_time)
+    if trial is not None:
+        tree.commit(trial)
+        tree.validate()
+        cost, stops = tree.best_schedule()
+        assert stops[0].request_id == first.request_id  # dropoff first

@@ -1,0 +1,150 @@
+"""Hotspot clustering (Section V): merging, load shedding, and the
+Theorem 2 cost bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.kinetic.tree import KineticTree
+from repro.core.request import TripRequest
+
+
+def cluster_requests(engine, center, count, rng, eps=5.0, wait=3000.0):
+    """Requests whose pickups all sit within a tiny ball around
+    ``center`` (same or adjacent vertices) and whose dropoffs cluster
+    around another point — the airport-to-downtown burst."""
+    graph = engine.graph
+    near = [center] + [int(v) for v in graph.neighbors(center)]
+    row = engine.distances_from(center)
+    far = int(np.argmax(row))  # the vertex farthest from the cluster
+    far_near = [far] + [int(v) for v in graph.neighbors(far)]
+    requests = []
+    for rid in range(count):
+        o = near[rid % len(near)]
+        d = far_near[rid % len(far_near)]
+        requests.append(
+            TripRequest(rid, o, d, 0.0, wait, eps, engine.distance(o, d))
+        )
+    return requests
+
+
+def insert_all(tree, requests):
+    accepted = []
+    for request in requests:
+        trial = tree.try_insert(request, tree.root_vertex, 0.0)
+        if trial is not None:
+            tree.commit(trial)
+            accepted.append(request)
+    return accepted
+
+
+@pytest.fixture
+def theta():
+    return 60.0  # seconds of travel (~840 m): covers adjacent vertices
+
+
+def test_merging_creates_group_nodes(city_engine, rng, theta):
+    requests = cluster_requests(city_engine, center=45, count=4, rng=rng)
+    tree = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=theta
+    )
+    insert_all(tree, requests)
+    assert any(node.is_group for child in tree.children for node in child.iter_nodes()), (
+        "no hotspot group formed for co-located stops"
+    )
+
+
+def test_hotspot_tree_much_smaller(city_engine, rng, theta):
+    requests = cluster_requests(city_engine, center=45, count=5, rng=rng)
+    basic = KineticTree(city_engine, 0, capacity=None, mode="basic")
+    hotspot = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=theta
+    )
+    insert_all(basic, requests)
+    insert_all(hotspot, requests)
+    assert hotspot.size() < basic.size() / 2, (
+        f"hotspot {hotspot.size()} nodes vs basic {basic.size()}"
+    )
+
+
+def test_hotspot_schedules_remain_valid(city_engine, rng, theta):
+    requests = cluster_requests(city_engine, center=45, count=5, rng=rng)
+    tree = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=theta
+    )
+    accepted = insert_all(tree, requests)
+    assert accepted, "hotspot tree accepted nothing"
+    tree.validate()  # exact validity of every materialized schedule
+
+
+def test_theorem2_cost_bound(city_engine, rng, theta):
+    """cost(hotspot best) <= cost(optimal) + 2(m+1)θ with loose
+    constraints (Theorem 2)."""
+    requests = cluster_requests(
+        city_engine, center=45, count=4, rng=rng, eps=10.0, wait=10_000.0
+    )
+    basic = KineticTree(city_engine, 0, capacity=None, mode="basic")
+    hotspot = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=theta
+    )
+    accepted_b = insert_all(basic, requests)
+    accepted_h = insert_all(hotspot, requests)
+    assert len(accepted_b) == len(accepted_h) == len(requests)
+    best_basic = basic.best_schedule()[0]
+    best_hotspot = hotspot.best_schedule()[0]
+    m = max(
+        len(node.stops)
+        for child in hotspot.children
+        for node in child.iter_nodes()
+    )
+    bound = best_basic + 2 * (m + 1) * theta
+    assert best_hotspot <= bound + 1e-6
+    assert best_hotspot >= best_basic - 1e-6  # approximation never wins
+
+
+def test_theta_zero_merges_only_colocated(city_engine, make_request):
+    tree = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=0.0
+    )
+    # Two pickups at the same vertex, dropoffs elsewhere.
+    r1 = make_request(40, 70, epsilon=4.0, max_wait=4000.0)
+    r2 = make_request(40, 71, epsilon=4.0, max_wait=4000.0)
+    tree.commit(tree.try_insert(r1, 0, 0.0))
+    tree.commit(tree.try_insert(r2, 0, 0.0))
+    groups = [
+        node
+        for child in tree.children
+        for node in child.iter_nodes()
+        if node.is_group
+    ]
+    assert groups, "same-vertex stops should merge at theta=0"
+    for node in groups:
+        vertices = {stop.vertex for stop in node.stops}
+        assert len(vertices) == 1
+
+
+def test_advance_through_group_applies_all_stops(city_engine, make_request):
+    tree = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=0.0
+    )
+    r1 = make_request(40, 70, epsilon=4.0, max_wait=4000.0)
+    r2 = make_request(40, 71, epsilon=4.0, max_wait=4000.0)
+    tree.commit(tree.try_insert(r1, 0, 0.0))
+    tree.commit(tree.try_insert(r2, 0, 0.0))
+    # Advance until both riders are onboard; group nodes apply all their
+    # stops in one advance.
+    while tree.committed and tree.load < 2:
+        tree.advance()
+    assert tree.load == 2
+
+
+def test_no_merge_when_far_apart(city_engine, make_request):
+    tree = KineticTree(
+        city_engine, 0, capacity=None, mode="slack", hotspot_theta=1.0
+    )
+    r1 = make_request(5, 90, epsilon=4.0, max_wait=4000.0)
+    r2 = make_request(60, 30, epsilon=4.0, max_wait=4000.0)
+    tree.commit(tree.try_insert(r1, 0, 0.0))
+    tree.commit(tree.try_insert(r2, 0, 0.0))
+    assert not any(
+        node.is_group for child in tree.children for node in child.iter_nodes()
+    )

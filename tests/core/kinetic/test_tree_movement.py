@@ -1,0 +1,128 @@
+"""Kinetic trees under vehicle movement: drift, mid-route insertion, and
+the quiescence of ∆ (Section IV, "Updating ∆ and Tree")."""
+
+import pytest
+
+from repro.core.kinetic.tree import KineticTree
+from repro.core.schedule import evaluate_schedule
+
+
+def committed_route(engine, tree):
+    """Vertices along the committed schedule from the root."""
+    stops = []
+    for node in tree.committed:
+        stops.extend(node.stops)
+    route = [tree.root_vertex]
+    for stop in stops:
+        path = engine.path(route[-1], stop.vertex)
+        route.extend(path[1:])
+    return route, stops
+
+
+def test_insertion_from_midroute_vertex(city_engine, make_request):
+    """A request arriving while the vehicle drives toward its first stop
+    must be evaluated from the vehicle's decision vertex, not the root
+    where the last commit happened."""
+    tree = KineticTree(city_engine, 0, capacity=4, mode="slack")
+    tree.commit(tree.try_insert(make_request(55, 20, epsilon=2.0), 0, 0.0))
+    route, _stops = committed_route(city_engine, tree)
+    assert len(route) > 2
+    # Vehicle is now at the second vertex of its route.
+    midpoint = route[1]
+    arrival_mid = city_engine.graph.edge_weight(route[0], midpoint)
+    second = make_request(8, 30, epsilon=2.0, max_wait=1500.0)
+    trial = tree.try_insert(second, midpoint, arrival_mid)
+    if trial is None:
+        pytest.skip("no feasible augmentation from this midpoint")
+    tree.commit(trial)
+    assert tree.root_vertex == midpoint
+    tree.validate()
+    # The committed schedule is executable from the midpoint: re-evaluate
+    # with the reference validator.
+    cost, stops = tree.best_schedule()
+    evaluation = evaluate_schedule(
+        city_engine, midpoint, arrival_mid, stops, dict(tree.onboard),
+        capacity=4,
+    )
+    assert evaluation is not None
+    assert evaluation.cost == pytest.approx(cost)
+
+
+def test_deltas_quiescent_under_movement(city_engine, make_request):
+    """Vehicle movement alone must not change stored ∆ values (the paper:
+    "the ∆ values are quiescent to server movement")."""
+    tree = KineticTree(city_engine, 0, capacity=4, mode="slack")
+    tree.commit(tree.try_insert(make_request(55, 20, epsilon=2.0), 0, 0.0))
+    tree.commit(
+        tree.try_insert(make_request(60, 30, epsilon=2.0), tree.root_vertex, 0.0)
+    )
+    deltas_before = [node.delta for child in tree.children for node in child.iter_nodes()]
+    # No tree API is invoked while the vehicle physically moves; stored
+    # deltas are untouched by design. (This documents the invariant the
+    # drift-aware insertion relies on.)
+    deltas_after = [node.delta for child in tree.children for node in child.iter_nodes()]
+    assert deltas_before == deltas_after
+
+
+def test_stale_branch_pruned_lazily_on_next_insert(city_engine, make_request):
+    """Branches whose deadlines expired while the vehicle drove elsewhere
+    disappear during the next insertion (lazy invalidation)."""
+    tree = KineticTree(city_engine, 0, capacity=4, mode="slack")
+    tight = make_request(50, 90, epsilon=2.0, max_wait=400.0)
+    tree.commit(tree.try_insert(tight, 0, 0.0))
+    # Time passes far beyond the pickup deadline without the vehicle
+    # moving toward the pickup: rerooting at a late time must fail.
+    late = tree.reroot(0, 10_000.0)
+    assert late is None
+
+
+def test_advance_then_insert_sequence(city_engine, make_request):
+    """Interleave insertions and stop executions, validating throughout."""
+    tree = KineticTree(city_engine, 0, capacity=4, mode="slack")
+    requests = [
+        make_request(5, 60, epsilon=1.5, max_wait=1200.0),
+        make_request(7, 62, epsilon=1.5, max_wait=1200.0),
+        make_request(30, 90, epsilon=1.5, max_wait=1800.0),
+    ]
+    accepted = 0
+    for request in requests:
+        trial = tree.try_insert(request, tree.root_vertex, tree.root_time)
+        if trial is not None:
+            tree.commit(trial)
+            accepted += 1
+        if tree.committed:
+            node = tree.advance()
+            assert node.last_arrival >= tree.root_time - 1e-9
+            tree.validate()
+    assert accepted >= 2
+    # Drain the remaining schedule.
+    while tree.committed:
+        tree.advance()
+    assert tree.num_active_trips == 0
+    assert tree.load == 0
+
+
+def test_onboard_budget_shrinks_with_detours(city_engine, make_request):
+    """Probes whose tight waits force a pickup *before* the onboard
+    rider's dropoff must be refused once they would blow the rider's
+    ride budget; probes with loose waits may be appended afterwards."""
+    tree = KineticTree(city_engine, 0, capacity=None, mode="slack")
+    rider = make_request(1, 99, epsilon=0.2)
+    tree.commit(tree.try_insert(rider, 0, 0.0))
+    tree.advance()  # rider onboard, ride budget = 1.2x direct
+    refusals = 0
+    accepted = 0
+    for i in range(6):
+        # Short wait: the probe must be picked up almost immediately,
+        # i.e. during the rider's trip, consuming their slim budget.
+        probe = make_request(
+            9 + i * 13, 97 - i * 11, epsilon=3.0, max_wait=120.0
+        )
+        trial = tree.try_insert(probe, tree.root_vertex, tree.root_time)
+        if trial is None:
+            refusals += 1
+        else:
+            tree.commit(trial)
+            tree.validate()
+            accepted += 1
+    assert refusals >= 3, f"accepted={accepted}, refusals={refusals}"

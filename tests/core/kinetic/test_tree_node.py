@@ -1,0 +1,74 @@
+"""TreeNode structure and the per-stop latest-arrival computation."""
+
+import pytest
+
+from repro.core.kinetic.node import TreeNode, stop_latest_arrival
+from repro.core.request import TripRequest
+from repro.core.stop import dropoff, pickup
+
+
+def request(rid=1, t=100.0, wait=600.0, eps=0.2, direct=200.0):
+    return TripRequest(rid, 10, 20, t, wait, eps, direct)
+
+
+def test_pickup_lat_is_deadline():
+    r = request()
+    assert stop_latest_arrival(pickup(r), {}) == r.pickup_deadline
+
+
+def test_onboard_dropoff_lat_uses_actual_pickup():
+    r = request()
+    lat = stop_latest_arrival(dropoff(r), {1: 150.0})
+    assert lat == pytest.approx(150.0 + r.max_ride_cost)
+
+
+def test_pending_dropoff_lat_is_worst_case_bound():
+    r = request()
+    lat = stop_latest_arrival(dropoff(r), {})
+    assert lat == pytest.approx(r.pickup_deadline + r.max_ride_cost)
+    # The bound dominates any achievable dropoff LAT: pickup can never
+    # happen later than the deadline.
+    assert lat >= stop_latest_arrival(dropoff(r), {1: r.pickup_deadline})
+
+
+def test_node_requires_aligned_stops_arrivals():
+    r = request()
+    with pytest.raises(ValueError):
+        TreeNode((pickup(r),), (1.0, 2.0))
+    with pytest.raises(ValueError):
+        TreeNode((), ())
+
+
+def test_node_accessors():
+    r = request()
+    node = TreeNode((pickup(r), dropoff(r)), (10.0, 40.0))
+    assert node.first_vertex == 10
+    assert node.last_vertex == 20
+    assert node.last_arrival == 40.0
+    assert node.is_group
+    assert node.internal_cost == pytest.approx(30.0)
+
+
+def test_singleton_node_internal_cost_zero():
+    r = request()
+    node = TreeNode((pickup(r),), (10.0,))
+    assert node.internal_cost == 0.0
+    assert not node.is_group
+    assert node.is_leaf
+
+
+def test_iter_and_counts():
+    r1, r2 = request(1), request(2)
+    leaf_a = TreeNode((dropoff(r1),), (30.0,))
+    leaf_b = TreeNode((dropoff(r2),), (35.0,))
+    root = TreeNode((pickup(r1),), (10.0,), [leaf_a, leaf_b])
+    assert root.count_nodes() == 3
+    assert root.count_leaves() == 2
+    assert {id(n) for n in root.iter_nodes()} == {
+        id(root), id(leaf_a), id(leaf_b)
+    }
+
+
+def test_repr():
+    r = request()
+    assert "TreeNode" in repr(TreeNode((pickup(r),), (10.0,)))

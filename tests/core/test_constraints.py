@@ -1,0 +1,42 @@
+"""Constraint configuration."""
+
+import pytest
+
+from repro.core.constraints import (
+    DEFAULT_CONSTRAINTS,
+    PAPER_CONSTRAINT_SWEEP,
+    ConstraintConfig,
+)
+
+
+def test_from_minutes():
+    config = ConstraintConfig.from_minutes(10, 20)
+    assert config.max_wait_seconds == 600.0
+    assert config.detour_epsilon == 0.2
+
+
+def test_label():
+    assert ConstraintConfig.from_minutes(5, 10).label == "5 min / 10%"
+
+
+def test_paper_sweep_has_five_settings():
+    assert len(PAPER_CONSTRAINT_SWEEP) == 5
+    labels = [c.label for c in PAPER_CONSTRAINT_SWEEP]
+    assert labels[0] == "5 min / 10%"
+    assert labels[-1] == "25 min / 50%"
+
+
+def test_default_is_ten_twenty():
+    assert DEFAULT_CONSTRAINTS.max_wait_seconds == 600.0
+    assert DEFAULT_CONSTRAINTS.detour_epsilon == pytest.approx(0.2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ConstraintConfig(0.0, 0.2)
+    with pytest.raises(ValueError):
+        ConstraintConfig(600.0, -0.5)
+
+
+def test_hashable():
+    assert len({DEFAULT_CONSTRAINTS, ConstraintConfig.from_minutes(10, 20)}) == 1

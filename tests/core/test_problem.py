@@ -1,0 +1,57 @@
+"""SchedulingProblem assembly."""
+
+from repro.core.problem import SchedulingProblem
+from repro.core.stop import StopKind
+
+
+def make_problem(make_request, with_new=True):
+    onboard_request = make_request(0, 5)
+    pending_request = make_request(10, 15)
+    new_request = make_request(20, 25) if with_new else None
+    return SchedulingProblem(
+        start_vertex=0,
+        start_time=50.0,
+        onboard={onboard_request: 10.0},
+        pending=(pending_request,),
+        new_request=new_request,
+        capacity=4,
+    )
+
+
+def test_stops_to_schedule_composition(make_request):
+    problem = make_problem(make_request)
+    stops = problem.stops_to_schedule
+    kinds = [(s.request_id, s.kind) for s in stops]
+    # onboard dropoff + pending pickup/dropoff + new pickup/dropoff
+    assert kinds == [
+        (0, StopKind.DROPOFF),
+        (1, StopKind.PICKUP),
+        (1, StopKind.DROPOFF),
+        (2, StopKind.PICKUP),
+        (2, StopKind.DROPOFF),
+    ]
+
+
+def test_stops_without_new_request(make_request):
+    problem = make_problem(make_request, with_new=False)
+    assert len(problem.stops_to_schedule) == 3
+
+
+def test_num_active_trips_excludes_new(make_request):
+    problem = make_problem(make_request)
+    assert problem.num_active_trips == 2
+
+
+def test_onboard_pickup_times(make_request):
+    problem = make_problem(make_request)
+    assert problem.onboard_pickup_times == {0: 10.0}
+
+
+def test_evaluate_delegates(city_engine, make_request):
+    r = make_request(0, 9)
+    problem = SchedulingProblem(0, 0.0, {}, (), r, 4)
+    from repro.core.stop import dropoff, pickup
+
+    evaluation = problem.evaluate(city_engine, (pickup(r), dropoff(r)))
+    assert evaluation is not None
+    assert evaluation.cost > 0

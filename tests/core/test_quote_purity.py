@@ -1,0 +1,75 @@
+"""Quoting must never mutate committed state — the property the whole
+trial/commit protocol rests on ("Only the chosen tree needs to have its
+∆ updated")."""
+
+import copy
+
+from repro.core.matching import Dispatcher, KineticAgent, RescheduleAgent
+from repro.core.vehicle import Vehicle
+from repro.algorithms.brute_force import BruteForce
+
+
+def snapshot_kinetic(agent):
+    return (
+        agent.tree.root_vertex,
+        agent.tree.root_time,
+        agent.tree.size(),
+        agent.tree.num_schedules(),
+        dict(agent.tree.onboard),
+        sorted(agent.tree.active_requests),
+        [id(n) for n in agent.tree.committed],
+    )
+
+
+def test_kinetic_quote_is_pure(city_engine):
+    agent = KineticAgent(Vehicle(0, 0, capacity=4), city_engine)
+    dispatcher = Dispatcher(city_engine, [agent])
+    first = dispatcher.make_request(0, 20, 0.0, 600.0, 0.5)
+    dispatcher.submit(first, 0.0)
+    before = snapshot_kinetic(agent)
+    probe = dispatcher.make_request(5, 30, 10.0, 600.0, 0.5)
+    for _ in range(3):
+        agent.quote(probe, 10.0)
+    assert snapshot_kinetic(agent) == before
+
+
+def test_reschedule_quote_is_pure(city_engine):
+    agent = RescheduleAgent(
+        Vehicle(0, 0, capacity=4), city_engine, BruteForce(city_engine)
+    )
+    dispatcher = Dispatcher(city_engine, [agent])
+    first = dispatcher.make_request(0, 20, 0.0, 600.0, 0.5)
+    dispatcher.submit(first, 0.0)
+    before = (
+        copy.copy(agent.pending),
+        dict(agent.onboard),
+        list(agent.committed_stops),
+        list(agent.committed_arrivals),
+    )
+    probe = dispatcher.make_request(5, 30, 10.0, 600.0, 0.5)
+    for _ in range(3):
+        agent.quote(probe, 10.0)
+    after = (
+        copy.copy(agent.pending),
+        dict(agent.onboard),
+        list(agent.committed_stops),
+        list(agent.committed_arrivals),
+    )
+    assert after == before
+
+
+def test_losing_agents_untouched_by_submit(city_engine):
+    agents = [
+        KineticAgent(Vehicle(vid, vid * 11, capacity=4), city_engine)
+        for vid in range(4)
+    ]
+    dispatcher = Dispatcher(city_engine, agents)
+    request = dispatcher.make_request(0, 25, 0.0, 600.0, 0.5)
+    snapshots = {a.vehicle.vehicle_id: snapshot_kinetic(a) for a in agents}
+    result = dispatcher.submit(request, 0.0)
+    assert result.assigned
+    for agent in agents:
+        if agent is result.winner:
+            assert agent.num_active_trips == 1
+        else:
+            assert snapshot_kinetic(agent) == snapshots[agent.vehicle.vehicle_id]

@@ -1,0 +1,55 @@
+"""Stop identity and helpers."""
+
+from repro.core.request import TripRequest
+from repro.core.stop import Stop, StopKind, dropoff, pickup
+
+
+def make_request(rid=1):
+    return TripRequest(rid, 10, 20, 0.0, 600.0, 0.2, 100.0)
+
+
+def test_pickup_vertex_is_origin():
+    assert pickup(make_request()).vertex == 10
+
+
+def test_dropoff_vertex_is_destination():
+    assert dropoff(make_request()).vertex == 20
+
+
+def test_kind_flags():
+    assert pickup(make_request()).is_pickup
+    assert not pickup(make_request()).is_dropoff
+    assert dropoff(make_request()).is_dropoff
+
+
+def test_identity_by_request_and_kind():
+    r = make_request()
+    assert pickup(r) == pickup(r)
+    assert pickup(r) != dropoff(r)
+    assert hash(pickup(r)) == hash(Stop(r, StopKind.PICKUP))
+
+
+def test_identity_across_equal_requests():
+    # Two equal request objects produce interchangeable stops.
+    assert pickup(make_request(5)) == pickup(make_request(5))
+    assert pickup(make_request(5)) != pickup(make_request(6))
+
+
+def test_usable_in_sets():
+    r = make_request()
+    stops = {pickup(r), dropoff(r), pickup(r)}
+    assert len(stops) == 2
+
+
+def test_eq_other_type():
+    assert pickup(make_request()) != "not a stop"
+
+
+def test_repr_tags():
+    r = make_request()
+    assert repr(pickup(r)).startswith("P")
+    assert repr(dropoff(r)).startswith("D")
+
+
+def test_request_id_property():
+    assert pickup(make_request(9)).request_id == 9

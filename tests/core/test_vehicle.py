@@ -1,0 +1,109 @@
+"""Vehicle kinematics: cruising, decision points, routes."""
+
+import pytest
+
+from repro.core.vehicle import Vehicle
+from repro.exceptions import SimulationError
+
+
+def test_initial_decision_point(small_city):
+    vehicle = Vehicle(1, start_vertex=0, start_time=0.0)
+    vertex, time = vehicle.decision_point(0.0, small_city)
+    assert vertex == 0
+    assert time == 0.0
+
+
+def test_idle_cruise_advances(small_city):
+    vehicle = Vehicle(1, start_vertex=0, start_time=0.0)
+    vertex, time = vehicle.decision_point(100.0, small_city)
+    assert time >= 100.0
+    assert 0 <= vertex < small_city.num_vertices
+    # The cruise is a real walk: consecutive waypoints are adjacent.
+    for (t1, v1), (t2, v2) in zip(vehicle.waypoints, vehicle.waypoints[1:]):
+        assert small_city.has_edge(v1, v2)
+        assert t2 > t1
+
+
+def test_idle_cruise_deterministic_per_seed(small_city):
+    a = Vehicle(1, 0, seed=7)
+    b = Vehicle(1, 0, seed=7)
+    assert a.decision_point(500.0, small_city) == b.decision_point(500.0, small_city)
+
+
+def test_idle_cruise_differs_across_seeds(small_city):
+    a = Vehicle(1, 0, seed=1)
+    b = Vehicle(1, 0, seed=2)
+    a.decision_point(2000.0, small_city)
+    b.decision_point(2000.0, small_city)
+    assert a.waypoints != b.waypoints
+
+
+def test_set_route_and_decision_point(small_city):
+    vehicle = Vehicle(1, 0)
+    vehicle.set_route([(0.0, 0), (10.0, 1), (25.0, 2)])
+    assert vehicle.busy
+    assert vehicle.decision_point(5.0, small_city) == (1, 10.0)
+    assert vehicle.decision_point(10.0, small_city) == (1, 10.0)
+    assert vehicle.decision_point(12.0, small_city) == (2, 25.0)
+
+
+def test_decision_point_past_route_end(small_city):
+    vehicle = Vehicle(1, 0)
+    vehicle.set_route([(0.0, 0), (10.0, 1)])
+    vertex, time = vehicle.decision_point(50.0, small_city)
+    assert (vertex, time) == (1, 50.0)
+
+
+def test_set_route_validation():
+    vehicle = Vehicle(1, 0)
+    with pytest.raises(SimulationError):
+        vehicle.set_route([])
+    with pytest.raises(SimulationError):
+        vehicle.set_route([(10.0, 0), (5.0, 1)])
+
+
+def test_plan_version_bumps(small_city):
+    vehicle = Vehicle(1, 0)
+    v0 = vehicle.plan_version
+    vehicle.set_route([(0.0, 0), (1.0, 1)])
+    vehicle.set_idle(1, 1.0)
+    assert vehicle.plan_version == v0 + 2
+
+
+def test_position_at_interpolates(small_city):
+    vehicle = Vehicle(1, 0)
+    vehicle.set_route([(0.0, 0), (10.0, 1)])
+    x0, y0 = small_city.coords[0]
+    x1, y1 = small_city.coords[1]
+    x, y = vehicle.position_at(5.0, small_city)
+    assert x == pytest.approx((x0 + x1) / 2, abs=1e-6)
+    assert y == pytest.approx((y0 + y1) / 2, abs=1e-6)
+
+
+def test_position_at_vertex(small_city):
+    vehicle = Vehicle(1, 0)
+    vehicle.set_route([(0.0, 0), (10.0, 1)])
+    x, y = vehicle.position_at(10.0, small_city)
+    assert (x, y) == tuple(small_city.coords[1])
+
+
+def test_current_vertex(small_city):
+    vehicle = Vehicle(1, 0)
+    vehicle.set_route([(0.0, 0), (10.0, 1), (20.0, 2)])
+    assert vehicle.current_vertex(0.0, small_city) == 0
+    assert vehicle.current_vertex(15.0, small_city) == 1
+    assert vehicle.current_vertex(25.0, small_city) == 2
+
+
+def test_waypoint_compaction(small_city):
+    vehicle = Vehicle(1, 0)
+    vehicle.decision_point(20000.0, small_city)  # long cruise
+    before = len(vehicle.waypoints)
+    vehicle.decision_point(40000.0, small_city)
+    # History is compacted; the list does not grow unboundedly beyond the
+    # compaction threshold plus the new extension.
+    assert len(vehicle.waypoints) < before + 2000
+
+
+def test_repr(small_city):
+    assert "idle" in repr(Vehicle(1, 0))

@@ -1,0 +1,90 @@
+"""All exact schedulers must agree on every instance (property-based).
+
+Brute force, branch & bound and the kinetic tree adapter solve the same
+problem exactly; the MIP solves the same model through HiGHS. Agreement
+across independently-implemented algorithms is the strongest correctness
+signal available without the authors' code.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.base import KineticTreeAlgorithm
+from repro.algorithms.branch_and_bound import BranchAndBound
+from repro.algorithms.brute_force import BruteForce
+from repro.algorithms.insertion import TwoPhaseInsertion
+from repro.algorithms.mip import MixedIntegerProgramming
+from repro.core.problem import SchedulingProblem
+from repro.core.request import TripRequest
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+
+CITY = grid_city(8, 8, seed=21)
+ENGINE = MatrixEngine(CITY)
+N = CITY.num_vertices
+
+
+@st.composite
+def problems(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    pending_count = draw(st.integers(0, 2))
+    with_onboard = draw(st.booleans())
+    capacity = draw(st.sampled_from([1, 2, 4, None]))
+    tight = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    wait = 300.0 if tight else 900.0
+    eps = 0.3 if tight else 1.2
+
+    def random_request(rid, eps_scale=1.0):
+        while True:
+            o, d = (int(x) for x in rng.integers(0, N, 2))
+            if o != d:
+                return TripRequest(
+                    rid, o, d, 0.0, wait, eps * eps_scale, ENGINE.distance(o, d)
+                )
+
+    pending = tuple(random_request(rid) for rid in range(pending_count))
+    new = random_request(50)
+    onboard = {}
+    if with_onboard:
+        onboard = {random_request(99, eps_scale=3.0): 0.0}
+    start = int(rng.integers(0, N))
+    return SchedulingProblem(start, 0.0, onboard, pending, new, capacity)
+
+
+@given(problems())
+@settings(max_examples=40, deadline=None)
+def test_exact_algorithms_agree(problem):
+    results = {
+        "bf": BruteForce(ENGINE).solve(problem),
+        "bb": BranchAndBound(ENGINE).solve(problem),
+        "kinetic": KineticTreeAlgorithm(ENGINE).solve(problem),
+    }
+    feasible = {name: r is not None for name, r in results.items()}
+    assert len(set(feasible.values())) == 1, f"feasibility disagrees: {feasible}"
+    if results["bf"] is not None:
+        costs = {name: r.cost for name, r in results.items()}
+        reference = costs["bf"]
+        for name, cost in costs.items():
+            assert cost == pytest.approx(reference, rel=1e-9), costs
+
+
+@given(problems())
+@settings(max_examples=12, deadline=None)
+def test_mip_agrees(problem):
+    mip = MixedIntegerProgramming(ENGINE).solve(problem)
+    bf = BruteForce(ENGINE).solve(problem)
+    assert (mip is None) == (bf is None)
+    if bf is not None:
+        assert mip.cost == pytest.approx(bf.cost, rel=1e-4)
+
+
+@given(problems())
+@settings(max_examples=25, deadline=None)
+def test_insertion_heuristic_bounded_below_by_optimum(problem):
+    ins = TwoPhaseInsertion(ENGINE).solve(problem)
+    bf = BruteForce(ENGINE).solve(problem)
+    if ins is not None:
+        assert bf is not None, "heuristic found a schedule the optimum missed"
+        assert ins.cost >= bf.cost - 1e-9

@@ -1,0 +1,46 @@
+"""Property-based test: the grid index radius query is always a superset
+of the true within-radius set, under arbitrary update/remove streams."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.geometry import BoundingBox, euclidean_distance
+from repro.spatial.grid_index import GridIndex
+
+BOUNDS = BoundingBox(0.0, 0.0, 2000.0, 2000.0)
+
+coordinates = st.tuples(
+    st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("update"), st.integers(0, 20), coordinates),
+        st.tuples(st.just("remove"), st.integers(0, 20), st.none()),
+    ),
+    max_size=60,
+)
+
+
+@given(
+    ops=operations,
+    cell=st.sampled_from([50.0, 130.0, 400.0]),
+    center=coordinates,
+    radius=st.floats(min_value=0.0, max_value=1500.0, allow_nan=False),
+)
+@settings(max_examples=100, deadline=None)
+def test_query_superset(ops, cell, center, radius):
+    index = GridIndex(BOUNDS, cell_meters=cell)
+    truth: dict[int, tuple[float, float]] = {}
+    for op, vid, pos in ops:
+        if op == "update":
+            index.update(vid, pos[0], pos[1])
+            truth[vid] = pos
+        else:
+            index.remove(vid)
+            truth.pop(vid, None)
+    hits = set(index.query_radius(center[0], center[1], radius))
+    for vid, pos in truth.items():
+        if euclidean_distance(pos, center) <= radius:
+            assert vid in hits
+    assert len(index) == len(truth)

@@ -1,0 +1,65 @@
+"""Model-based testing of the LRU cache against a reference model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.roadnet.cache import LRUCache
+
+
+class ReferenceLRU:
+    """Obviously-correct LRU built on OrderedDict."""
+
+    def __init__(self, maxsize):
+        self.maxsize = maxsize
+        self.data = OrderedDict()
+
+    def get(self, key):
+        if key not in self.data:
+            return None
+        self.data.move_to_end(key)
+        return self.data[key]
+
+    def put(self, key, value):
+        if key in self.data:
+            self.data.move_to_end(key)
+        elif len(self.data) >= self.maxsize:
+            self.data.popitem(last=False)
+        self.data[key] = value
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "put"]),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=100),
+    ),
+    max_size=60,
+)
+
+
+@given(size=st.integers(min_value=1, max_value=8), ops=operations)
+@settings(max_examples=100, deadline=None)
+def test_lru_matches_reference(size, ops):
+    ours = LRUCache(size)
+    reference = ReferenceLRU(size)
+    for op, key, value in ops:
+        if op == "put":
+            ours.put(key, value)
+            reference.put(key, value)
+        else:
+            assert ours.get(key) == reference.get(key)
+    assert dict(ours._data) == dict(reference.data)
+    assert list(ours._data) == list(reference.data)  # identical LRU order
+
+
+@given(size=st.integers(min_value=1, max_value=8), ops=operations)
+@settings(max_examples=50, deadline=None)
+def test_lru_never_exceeds_capacity(size, ops):
+    cache = LRUCache(size)
+    for op, key, value in ops:
+        if op == "put":
+            cache.put(key, value)
+        else:
+            cache.get(key)
+        assert len(cache) <= size

@@ -1,0 +1,99 @@
+"""Property-based tests of the shortest-path substrate.
+
+Random connected graphs are built from a random spanning tree plus random
+extra edges, so every instance is connected by construction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.roadnet.dijkstra import (
+    bidirectional_distance,
+    dijkstra_distance,
+    dijkstra_path,
+)
+from repro.roadnet.graph import RoadNetwork
+from repro.roadnet.hub_labeling import HubLabels
+
+
+@st.composite
+def connected_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    edges = {}
+    # Random spanning tree: attach vertex i to a random earlier vertex.
+    for v in range(1, n):
+        u = int(rng.integers(0, v))
+        edges[(u, v)] = float(rng.uniform(0.5, 20.0))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u, v = (int(x) for x in rng.integers(0, n, 2))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        edges.setdefault(key, float(rng.uniform(0.5, 20.0)))
+    graph = RoadNetwork(n, [(u, v, w) for (u, v), w in edges.items()])
+    return graph, rng
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_distance_symmetry(case):
+    graph, rng = case
+    s, e = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+    assert dijkstra_distance(graph, s, e) == pytest.approx(
+        dijkstra_distance(graph, e, s)
+    )
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_triangle_inequality(case):
+    graph, rng = case
+    a, b, c = (int(x) for x in rng.integers(0, graph.num_vertices, 3))
+    assert dijkstra_distance(graph, a, c) <= (
+        dijkstra_distance(graph, a, b) + dijkstra_distance(graph, b, c) + 1e-9
+    )
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_path_cost_equals_distance(case):
+    graph, rng = case
+    s, e = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+    path = dijkstra_path(graph, s, e)
+    cost = sum(graph.edge_weight(u, v) for u, v in zip(path, path[1:]))
+    assert cost == pytest.approx(dijkstra_distance(graph, s, e))
+    assert path[0] == s and path[-1] == e
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_path_never_repeats_vertices(case):
+    graph, rng = case
+    s, e = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+    path = dijkstra_path(graph, s, e)
+    assert len(path) == len(set(path))
+
+
+@given(connected_graphs())
+@settings(max_examples=30, deadline=None)
+def test_hub_labels_exact(case):
+    graph, rng = case
+    labels = HubLabels(graph)
+    for _ in range(5):
+        s, e = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+        assert labels.query(s, e) == pytest.approx(
+            dijkstra_distance(graph, s, e)
+        )
+
+
+@given(connected_graphs())
+@settings(max_examples=30, deadline=None)
+def test_bidirectional_matches(case):
+    graph, rng = case
+    s, e = (int(x) for x in rng.integers(0, graph.num_vertices, 2))
+    assert bidirectional_distance(graph, s, e) == pytest.approx(
+        dijkstra_distance(graph, s, e)
+    )

@@ -1,0 +1,137 @@
+"""Property-based invariants of the reference schedule validator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.request import TripRequest
+from repro.core.schedule import evaluate_schedule, schedule_cost
+from repro.core.stop import dropoff, pickup
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+
+CITY = grid_city(7, 7, seed=5)
+ENGINE = MatrixEngine(CITY)
+N = CITY.num_vertices
+
+
+@st.composite
+def schedules(draw):
+    """A random structurally-valid stop sequence over 1-3 requests."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    count = draw(st.integers(1, 3))
+    rng = np.random.default_rng(seed)
+    requests = []
+    for rid in range(count):
+        while True:
+            o, d = (int(x) for x in rng.integers(0, N, 2))
+            if o != d:
+                break
+        requests.append(
+            TripRequest(rid, o, d, 0.0, 2000.0, 2.0, ENGINE.distance(o, d))
+        )
+    stops = []
+    pending = list(requests)
+    onboard = []
+    while pending or onboard:
+        if pending and (not onboard or rng.random() < 0.5):
+            request = pending.pop(int(rng.integers(0, len(pending))))
+            stops.append(pickup(request))
+            onboard.append(request)
+        else:
+            request = onboard.pop(int(rng.integers(0, len(onboard))))
+            stops.append(dropoff(request))
+    start = int(rng.integers(0, N))
+    return start, stops
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_arrivals_monotone(case):
+    start, stops = case
+    evaluation = evaluate_schedule(ENGINE, start, 0.0, stops, {})
+    if evaluation is None:
+        return
+    arrivals = evaluation.arrivals
+    assert all(a <= b + 1e-9 for a, b in zip(arrivals, arrivals[1:]))
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_cost_equals_leg_sum(case):
+    start, stops = case
+    evaluation = evaluate_schedule(ENGINE, start, 0.0, stops, {})
+    if evaluation is None:
+        return
+    assert evaluation.cost == pytest.approx(schedule_cost(ENGINE, start, stops))
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_validity_invariant_under_time_shift(case):
+    """Shifting the clock and every request time equally cannot change
+    validity or cost (only absolute deadlines matter)."""
+    start, stops = case
+    base = evaluate_schedule(ENGINE, start, 0.0, stops, {})
+    shift = 500.0
+    shifted_stops = []
+    cache = {}
+    for stop in stops:
+        request = stop.request
+        if request.request_id not in cache:
+            cache[request.request_id] = TripRequest(
+                request.request_id,
+                request.origin,
+                request.destination,
+                request.request_time + shift,
+                request.max_wait,
+                request.detour_epsilon,
+                request.direct_cost,
+            )
+        shifted = cache[request.request_id]
+        shifted_stops.append(pickup(shifted) if stop.is_pickup else dropoff(shifted))
+    moved = evaluate_schedule(ENGINE, start, shift, shifted_stops, {})
+    assert (base is None) == (moved is None)
+    if base is not None:
+        assert moved.cost == pytest.approx(base.cost)
+
+
+@given(schedules(), st.integers(1, 4))
+@settings(max_examples=50, deadline=None)
+def test_capacity_monotone(case, capacity):
+    """If a schedule is valid at capacity c, it is valid at c+1."""
+    start, stops = case
+    tight = evaluate_schedule(ENGINE, start, 0.0, stops, {}, capacity=capacity)
+    loose = evaluate_schedule(ENGINE, start, 0.0, stops, {}, capacity=capacity + 1)
+    if tight is not None:
+        assert loose is not None
+        assert loose.cost == pytest.approx(tight.cost)
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_constraint_relaxation_monotone(case):
+    """Loosening w and eps never invalidates a valid schedule."""
+    start, stops = case
+    base = evaluate_schedule(ENGINE, start, 0.0, stops, {})
+    if base is None:
+        return
+    relaxed_cache = {}
+    relaxed_stops = []
+    for stop in stops:
+        request = stop.request
+        if request.request_id not in relaxed_cache:
+            relaxed_cache[request.request_id] = TripRequest(
+                request.request_id,
+                request.origin,
+                request.destination,
+                request.request_time,
+                request.max_wait * 2,
+                request.detour_epsilon * 2,
+                request.direct_cost,
+            )
+        relaxed = relaxed_cache[request.request_id]
+        relaxed_stops.append(
+            pickup(relaxed) if stop.is_pickup else dropoff(relaxed)
+        )
+    assert evaluate_schedule(ENGINE, start, 0.0, relaxed_stops, {}) is not None

@@ -1,0 +1,169 @@
+"""Property-based tests of the kinetic tree — the paper's core claims
+as hypothesis invariants.
+
+* the tree's best augmented schedule always equals brute force (the tree
+  is exact);
+* slack filtering never changes the result (Theorem 1 safety);
+* every materialized schedule passes the reference validator;
+* hotspot trees, an approximation, never produce *invalid* schedules and
+  never beat the exact optimum.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.brute_force import BruteForce
+from repro.core.kinetic.tree import KineticTree
+from repro.core.problem import SchedulingProblem
+from repro.core.request import TripRequest
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+
+CITY = grid_city(8, 8, seed=99)
+ENGINE = MatrixEngine(CITY)
+N = CITY.num_vertices
+
+
+@st.composite
+def request_streams(draw):
+    """A start vertex plus 2-5 requests with varied constraints."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    count = draw(st.integers(min_value=2, max_value=5))
+    tight = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    wait = 240.0 if tight else 900.0
+    eps = 0.25 if tight else 1.0
+    requests = []
+    rid = 0
+    while len(requests) < count:
+        o, d = (int(x) for x in rng.integers(0, N, 2))
+        if o == d:
+            continue
+        t = len(requests) * draw(st.sampled_from([0.0, 30.0]))
+        requests.append(
+            TripRequest(rid, o, d, t, wait, eps, ENGINE.distance(o, d))
+        )
+        rid += 1
+    start = int(rng.integers(0, N))
+    return start, requests
+
+
+@given(request_streams())
+@settings(max_examples=40, deadline=None)
+def test_tree_insertion_matches_bruteforce(case):
+    start, requests = case
+    tree = KineticTree(ENGINE, start, capacity=4, mode="basic")
+    accepted = []
+    for request in requests:
+        t = request.request_time
+        trial = tree.try_insert(request, tree.root_vertex, t)
+        problem = SchedulingProblem(
+            tree.root_vertex, t, {}, tuple(accepted + [request]), None, 4
+        )
+        reference = BruteForce(ENGINE).solve(problem)
+        assert (trial is None) == (reference is None)
+        if trial is not None:
+            assert trial.best_cost == pytest.approx(reference.cost, rel=1e-9)
+            tree.commit(trial)
+            accepted.append(request)
+
+
+@given(request_streams())
+@settings(max_examples=40, deadline=None)
+def test_slack_is_pure_speedup(case):
+    start, requests = case
+    basic = KineticTree(ENGINE, start, capacity=4, mode="basic")
+    slack = KineticTree(ENGINE, start, capacity=4, mode="slack")
+    for request in requests:
+        t = request.request_time
+        trial_b = basic.try_insert(request, basic.root_vertex, t)
+        trial_s = slack.try_insert(request, slack.root_vertex, t)
+        assert (trial_b is None) == (trial_s is None)
+        if trial_b is None:
+            continue
+        assert trial_s.best_cost == pytest.approx(trial_b.best_cost, rel=1e-9)
+        basic.commit(trial_b)
+        slack.commit(trial_s)
+    assert {s for s, _ in basic.all_schedules()} == {
+        s for s, _ in slack.all_schedules()
+    }
+
+
+@given(request_streams())
+@settings(max_examples=30, deadline=None)
+def test_all_materialized_schedules_valid(case):
+    start, requests = case
+    tree = KineticTree(ENGINE, start, capacity=4, mode="slack")
+    for request in requests:
+        trial = tree.try_insert(request, tree.root_vertex, request.request_time)
+        if trial is not None:
+            tree.commit(trial)
+    tree.validate()  # raises on any invalid schedule
+
+
+@given(request_streams())
+@settings(max_examples=30, deadline=None)
+def test_validity_preserved_under_movement(case):
+    start, requests = case
+    tree = KineticTree(ENGINE, start, capacity=4, mode="slack")
+    for request in requests:
+        trial = tree.try_insert(request, tree.root_vertex, request.request_time)
+        if trial is not None:
+            tree.commit(trial)
+        # Execute one committed stop between insertions.
+        if tree.committed:
+            tree.advance()
+            tree.validate()
+
+
+@given(request_streams(), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_beam_is_subset_of_exact(case, cap):
+    """A schedule-capped tree materializes a subset of the exact tree's
+    schedules (never an invalid or novel one), and its best schedule is
+    never cheaper than the exact optimum."""
+    start, requests = case
+    exact = KineticTree(ENGINE, start, capacity=4, mode="basic")
+    capped = KineticTree(ENGINE, start, capacity=4, mode="basic", schedule_cap=cap)
+    for request in requests:
+        t = request.request_time
+        trial_e = exact.try_insert(request, exact.root_vertex, t)
+        trial_c = capped.try_insert(request, capped.root_vertex, t)
+        if trial_c is not None:
+            assert trial_e is not None
+            assert trial_c.best_cost >= trial_e.best_cost - 1e-9
+        if trial_e is not None and trial_c is not None:
+            exact.commit(trial_e)
+            capped.commit(trial_c)
+    capped_set = {s for s, _ in capped.all_schedules()}
+    exact_set = {s for s, _ in exact.all_schedules()}
+    assert capped_set <= exact_set
+    assert len(capped_set) <= max(
+        1, cap
+    ) or not capped_set  # the cap is respected
+    capped.validate()
+
+
+@given(request_streams(), st.integers(10, 90))
+@settings(max_examples=30, deadline=None)
+def test_hotspot_valid_and_never_better(case, theta):
+    start, requests = case
+    exact = KineticTree(ENGINE, start, capacity=4, mode="basic")
+    hotspot = KineticTree(
+        ENGINE, start, capacity=4, mode="slack", hotspot_theta=float(theta)
+    )
+    for request in requests:
+        t = request.request_time
+        trial_e = exact.try_insert(request, exact.root_vertex, t)
+        trial_h = hotspot.try_insert(request, hotspot.root_vertex, t)
+        # Hotspot schedules form a subset: it can only accept when the
+        # exact tree accepts.
+        if trial_h is not None:
+            assert trial_e is not None
+            assert trial_h.best_cost >= trial_e.best_cost - 1e-6
+        # Keep the two trees in sync on the accepted set.
+        if trial_e is not None and trial_h is not None:
+            exact.commit(trial_e)
+            hotspot.commit(trial_h)
+    hotspot.validate()

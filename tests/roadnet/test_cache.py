@@ -1,0 +1,119 @@
+"""LRU caches and the paper's composite cache key."""
+
+import pytest
+
+from repro.roadnet.cache import LRUCache, ShortestPathCache, combined_key
+
+
+def test_combined_key_formula():
+    # Paper: i = id(s) * |V| + id(e).
+    assert combined_key(3, 7, 100) == 307
+    assert combined_key(0, 0, 100) == 0
+
+
+def test_combined_key_injective():
+    n = 50
+    keys = {combined_key(s, e, n) for s in range(n) for e in range(n)}
+    assert len(keys) == n * n
+
+
+def test_lru_put_get():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.get("missing") is None
+    assert cache.get("missing", 42) == 42
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("c", 3)  # evicts "a"
+    assert "a" not in cache
+    assert cache.get("b") == 2
+    assert cache.get("c") == 3
+
+
+def test_lru_access_refreshes_recency():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # "b" is now least recent
+    cache.put("c", 3)
+    assert "a" in cache
+    assert "b" not in cache
+
+
+def test_lru_put_refreshes_recency():
+    cache = LRUCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)
+    cache.put("c", 3)
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_lru_hit_rate_counters():
+    cache = LRUCache(4)
+    cache.put("x", 1)
+    cache.get("x")
+    cache.get("y")
+    assert cache.hits == 1
+    assert cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_lru_len_and_clear():
+    cache = LRUCache(4)
+    cache.put("x", 1)
+    cache.put("y", 2)
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_lru_invalid_size():
+    with pytest.raises(ValueError):
+        LRUCache(0)
+
+
+def test_lru_repr():
+    assert "LRUCache" in repr(LRUCache(3))
+
+
+def test_dual_cache_distance_symmetric():
+    cache = ShortestPathCache(100, distance_capacity=10, path_capacity=4)
+    cache.put_distance(1, 2, 42.0)
+    assert cache.get_distance(1, 2) == 42.0
+    assert cache.get_distance(2, 1) == 42.0  # undirected
+
+
+def test_dual_cache_path_directional():
+    cache = ShortestPathCache(100)
+    cache.put_path(1, 2, [1, 5, 2])
+    assert cache.get_path(1, 2) == [1, 5, 2]
+    assert cache.get_path(2, 1) is None
+
+
+def test_dual_cache_key_parity_no_collision():
+    # A distance entry and a path entry for the same (s, e) must coexist.
+    cache = ShortestPathCache(100)
+    cache.put_distance(1, 2, 9.0)
+    cache.put_path(1, 2, [1, 2])
+    assert cache.get_distance(1, 2) == 9.0
+    assert cache.get_path(1, 2) == [1, 2]
+
+
+def test_dual_cache_stats_and_clear():
+    cache = ShortestPathCache(100)
+    cache.put_distance(0, 1, 1.0)
+    cache.get_distance(0, 1)
+    cache.get_distance(5, 6)
+    stats = cache.stats()
+    assert stats["distance_hits"] == 1
+    assert stats["distance_misses"] == 1
+    cache.clear()
+    assert cache.stats()["distance_entries"] == 0

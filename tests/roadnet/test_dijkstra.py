@@ -1,0 +1,99 @@
+"""Dijkstra shortest-path functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DisconnectedError
+from repro.roadnet.dijkstra import (
+    bidirectional_distance,
+    dijkstra_distance,
+    dijkstra_path,
+    single_source_array,
+    single_source_distances,
+    vertices_within,
+)
+from repro.roadnet.graph import RoadNetwork
+
+
+def path_cost(graph, path):
+    return sum(graph.edge_weight(u, v) for u, v in zip(path, path[1:]))
+
+
+def test_line_distances(line_graph):
+    assert dijkstra_distance(line_graph, 0, 4) == 4.0
+    assert dijkstra_distance(line_graph, 4, 0) == 4.0
+    assert dijkstra_distance(line_graph, 2, 2) == 0.0
+
+
+def test_square_shortcut(square_graph):
+    # Direct 0-3 edge costs 2.5; going around costs 2.0.
+    assert dijkstra_distance(square_graph, 0, 3) == 2.0
+
+
+def test_path_is_shortest(square_graph):
+    path = dijkstra_path(square_graph, 0, 3)
+    assert path[0] == 0 and path[-1] == 3
+    assert path_cost(square_graph, path) == dijkstra_distance(square_graph, 0, 3)
+
+
+def test_path_trivial(square_graph):
+    assert dijkstra_path(square_graph, 2, 2) == [2]
+
+
+def test_disconnected_raises():
+    g = RoadNetwork(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    with pytest.raises(DisconnectedError):
+        dijkstra_distance(g, 0, 3)
+    with pytest.raises(DisconnectedError):
+        dijkstra_path(g, 0, 2)
+
+
+def test_single_source_distances(line_graph):
+    dist = single_source_distances(line_graph, 0)
+    assert dist == {0: 0.0, 1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0}
+
+
+def test_single_source_cutoff(line_graph):
+    dist = single_source_distances(line_graph, 0, cutoff=2.0)
+    assert set(dist) == {0, 1, 2}
+
+
+def test_single_source_array(line_graph):
+    arr = single_source_array(line_graph, 1)
+    assert arr[4] == 3.0
+    assert arr[0] == 1.0
+
+
+def test_vertices_within(line_graph):
+    ball = vertices_within(line_graph, 2, 1.0)
+    assert set(ball) == {1, 2, 3}
+
+
+def test_vertices_within_zero_radius(line_graph):
+    assert set(vertices_within(line_graph, 2, 0.0)) == {2}
+
+
+def test_matches_scipy_on_random_city(small_city):
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    ref = sp_dijkstra(small_city.to_scipy_csr(), directed=False, indices=[0])[0]
+    ours = single_source_array(small_city, 0)
+    np.testing.assert_allclose(ours, ref, rtol=1e-12)
+
+
+def test_bidirectional_matches_unidirectional(small_city, rng):
+    for _ in range(25):
+        s, e = rng.integers(0, small_city.num_vertices, 2)
+        expected = dijkstra_distance(small_city, int(s), int(e))
+        actual = bidirectional_distance(small_city, int(s), int(e))
+        assert actual == pytest.approx(expected, rel=1e-12)
+
+
+def test_bidirectional_disconnected():
+    g = RoadNetwork(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    with pytest.raises(DisconnectedError):
+        bidirectional_distance(g, 0, 3)
+
+
+def test_bidirectional_same_vertex(small_city):
+    assert bidirectional_distance(small_city, 5, 5) == 0.0

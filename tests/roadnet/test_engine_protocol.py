@@ -1,0 +1,53 @@
+"""Protocol conformance: every engine kind satisfies ShortestPathEngine
+and behaves identically on the protocol surface."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet.engine import ShortestPathEngine, make_engine
+
+KINDS = ("matrix", "dijkstra", "hub_label", "astar", "ch")
+
+
+@pytest.fixture(scope="module")
+def all_engines(small_city):
+    return {kind: make_engine(small_city, kind) for kind in KINDS}
+
+
+def test_all_kinds_constructible(all_engines):
+    for kind, engine in all_engines.items():
+        assert isinstance(engine, ShortestPathEngine), kind
+
+
+def test_distances_agree_everywhere(all_engines, small_city, rng):
+    reference = all_engines["matrix"]
+    for _ in range(25):
+        s, e = (int(x) for x in rng.integers(0, small_city.num_vertices, 2))
+        expected = reference.distance(s, e)
+        for kind, engine in all_engines.items():
+            assert engine.distance(s, e) == pytest.approx(expected, rel=1e-9), (
+                kind, s, e,
+            )
+
+
+def test_paths_valid_everywhere(all_engines, small_city, rng):
+    for kind, engine in all_engines.items():
+        s, e = (int(x) for x in rng.integers(0, small_city.num_vertices, 2))
+        path = engine.path(s, e)
+        assert path[0] == s and path[-1] == e, kind
+        for u, v in zip(path, path[1:]):
+            assert small_city.has_edge(u, v), kind
+
+
+def test_vertices_within_consistent(all_engines, small_city):
+    radius = 60.0
+    reference = set(all_engines["matrix"].vertices_within(0, radius))
+    for kind, engine in all_engines.items():
+        assert set(engine.vertices_within(0, radius)) == reference, kind
+
+
+def test_distances_from_consistent(all_engines, small_city):
+    reference = np.asarray(all_engines["matrix"].distances_from(0), dtype=float)
+    for kind, engine in all_engines.items():
+        row = np.asarray(engine.distances_from(0), dtype=float)
+        np.testing.assert_allclose(row, reference, rtol=1e-9, err_msg=kind)

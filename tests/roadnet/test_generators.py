@@ -1,0 +1,82 @@
+"""Synthetic city generators."""
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_MPS
+from repro.roadnet.generators import (
+    grid_city,
+    random_geometric_city,
+    ring_radial_city,
+)
+
+
+def test_grid_city_size():
+    city = grid_city(5, 7, seed=0)
+    assert city.num_vertices == 35
+    assert city.coords is not None
+
+
+def test_grid_city_connected():
+    for seed in range(3):
+        assert grid_city(8, 8, seed=seed, irregularity=0.2).is_connected()
+
+
+def test_grid_city_deterministic():
+    a = grid_city(6, 6, seed=9)
+    b = grid_city(6, 6, seed=9)
+    assert list(a.iter_edges()) == list(b.iter_edges())
+    np.testing.assert_array_equal(a.coords, b.coords)
+
+
+def test_grid_city_seed_changes_weights():
+    a = grid_city(6, 6, seed=1)
+    b = grid_city(6, 6, seed=2)
+    assert list(a.iter_edges()) != list(b.iter_edges())
+
+
+def test_grid_city_irregularity_removes_edges():
+    dense = grid_city(10, 10, seed=0, irregularity=0.0)
+    sparse = grid_city(10, 10, seed=0, irregularity=0.25)
+    assert sparse.num_edges < dense.num_edges
+
+
+def test_grid_city_weights_are_plausible_seconds():
+    city = grid_city(6, 6, seed=0, block_meters=200.0)
+    for _, _, w in city.iter_edges():
+        # 200 m at 14 m/s ~ 14 s; lognormal spread stays within sanity.
+        assert 10.0 / SPEED_MPS <= w <= 2000.0 / SPEED_MPS
+
+
+def test_grid_city_validation():
+    with pytest.raises(ValueError):
+        grid_city(1, 5)
+    with pytest.raises(ValueError):
+        grid_city(5, 5, irregularity=0.9)
+
+
+def test_ring_radial_city():
+    city = ring_radial_city(3, 8, seed=0)
+    assert city.num_vertices == 1 + 3 * 8
+    assert city.is_connected()
+    assert city.coords is not None
+
+
+def test_ring_radial_validation():
+    with pytest.raises(ValueError):
+        ring_radial_city(0, 8)
+    with pytest.raises(ValueError):
+        ring_radial_city(2, 2)
+
+
+def test_random_geometric_city():
+    city = random_geometric_city(300, seed=0)
+    assert city.is_connected()  # trimmed to largest component
+    assert city.num_vertices > 150  # most of the graph survives
+    degrees = [city.degree(v) for v in range(city.num_vertices)]
+    assert 2.0 < np.mean(degrees) < 8.0
+
+
+def test_random_geometric_validation():
+    with pytest.raises(ValueError):
+        random_geometric_city(5)

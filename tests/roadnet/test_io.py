@@ -1,0 +1,61 @@
+"""Road-network serialization roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.roadnet.generators import grid_city
+from repro.roadnet.io import load_edgelist, load_npz, save_edgelist, save_npz
+
+
+@pytest.fixture
+def city():
+    return grid_city(5, 5, seed=2)
+
+
+def assert_same_graph(a, b):
+    assert a.num_vertices == b.num_vertices
+    assert list(a.iter_edges()) == pytest.approx(list(b.iter_edges()))
+    if a.coords is not None:
+        np.testing.assert_allclose(a.coords, b.coords)
+
+
+def test_npz_roundtrip(tmp_path, city):
+    path = tmp_path / "city.npz"
+    save_npz(city, path)
+    assert_same_graph(city, load_npz(path))
+
+
+def test_npz_roundtrip_without_coords(tmp_path, line_graph):
+    path = tmp_path / "line.npz"
+    save_npz(line_graph, path)
+    loaded = load_npz(path)
+    assert loaded.coords is None
+    assert_same_graph(line_graph, loaded)
+
+
+def test_edgelist_roundtrip(tmp_path, city):
+    path = tmp_path / "city.csv"
+    save_edgelist(city, path)
+    assert_same_graph(city, load_edgelist(path))
+
+
+def test_edgelist_missing_header(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("0,1,2.0\n")
+    with pytest.raises(GraphError):
+        load_edgelist(path)
+
+
+def test_edgelist_malformed_line(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("#V,3\n0,1\n")
+    with pytest.raises(GraphError):
+        load_edgelist(path)
+
+
+def test_edgelist_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "ok.csv"
+    path.write_text("#V,3\n# a comment\n\n0,1,1.5\n1,2,2.5\n")
+    g = load_edgelist(path)
+    assert g.num_edges == 2

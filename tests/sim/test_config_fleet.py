@@ -1,0 +1,78 @@
+"""SimulationConfig validation and fleet construction."""
+
+import pytest
+
+from repro.core.matching import KineticAgent, RescheduleAgent
+from repro.roadnet.matrix import MatrixEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.fleet import build_fleet
+
+
+def test_config_defaults_match_paper():
+    config = SimulationConfig()
+    assert config.capacity == 4
+    assert config.constraints.max_wait_seconds == 600.0
+    assert config.constraints.detour_epsilon == pytest.approx(0.2)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimulationConfig(num_vehicles=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(capacity=0)
+    with pytest.raises(ValueError):
+        SimulationConfig(report_interval=0)
+
+
+def test_config_unlimited_capacity_allowed():
+    assert SimulationConfig(capacity=None).capacity is None
+
+
+def test_build_fleet_kinetic(city_engine):
+    agents = build_fleet(city_engine, SimulationConfig(num_vehicles=5, seed=3))
+    assert len(agents) == 5
+    assert all(isinstance(a, KineticAgent) for a in agents)
+    assert len({a.vehicle.vehicle_id for a in agents}) == 5
+
+
+def test_build_fleet_reschedule(city_engine):
+    agents = build_fleet(
+        city_engine,
+        SimulationConfig(num_vehicles=3, algorithm="brute_force", seed=3),
+    )
+    assert all(isinstance(a, RescheduleAgent) for a in agents)
+
+
+def test_build_fleet_deterministic(city_engine):
+    config = SimulationConfig(num_vehicles=6, seed=8)
+    a = build_fleet(city_engine, config)
+    b = build_fleet(city_engine, config)
+    assert [x.vehicle.waypoints[0] for x in a] == [
+        x.vehicle.waypoints[0] for x in b
+    ]
+
+
+def test_build_fleet_capacity_passthrough(city_engine):
+    agents = build_fleet(
+        city_engine, SimulationConfig(num_vehicles=2, capacity=7, seed=0)
+    )
+    assert all(a.vehicle.capacity == 7 for a in agents)
+    assert all(a.tree.capacity == 7 for a in agents)
+
+
+def test_build_fleet_tree_variant_passthrough(city_engine):
+    agents = build_fleet(
+        city_engine,
+        SimulationConfig(
+            num_vehicles=2,
+            algorithm="kinetic",
+            tree_mode="basic",
+            hotspot_theta=25.0,
+            tree_expansion_budget=1000,
+            seed=0,
+        ),
+    )
+    for agent in agents:
+        assert agent.tree.mode == "basic"
+        assert agent.tree.hotspot_theta == 25.0
+        assert agent.tree.expansion_budget == 1000

@@ -1,0 +1,69 @@
+"""Event queue semantics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+def test_time_ordering():
+    queue = EventQueue()
+    queue.push(Event(5.0, EventKind.REQUEST_ARRIVAL, "b"))
+    queue.push(Event(1.0, EventKind.REQUEST_ARRIVAL, "a"))
+    queue.push(Event(3.0, EventKind.REQUEST_ARRIVAL, "m"))
+    assert [queue.pop().payload for _ in range(3)] == ["a", "m", "b"]
+
+
+def test_kind_priority_at_same_instant():
+    queue = EventQueue()
+    queue.push(Event(1.0, EventKind.LOCATION_REPORT, "report"))
+    queue.push(Event(1.0, EventKind.REQUEST_ARRIVAL, "request"))
+    queue.push(Event(1.0, EventKind.STOP_REACHED, "stop"))
+    kinds = [queue.pop().kind for _ in range(3)]
+    assert kinds == [
+        EventKind.STOP_REACHED,
+        EventKind.REQUEST_ARRIVAL,
+        EventKind.LOCATION_REPORT,
+    ]
+
+
+def test_fifo_within_same_time_and_kind():
+    queue = EventQueue()
+    for i in range(5):
+        queue.push(Event(2.0, EventKind.REQUEST_ARRIVAL, i))
+    assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+
+def test_causality_guard():
+    queue = EventQueue()
+    queue.push(Event(10.0, EventKind.REQUEST_ARRIVAL))
+    queue.pop()
+    with pytest.raises(SimulationError):
+        queue.push(Event(5.0, EventKind.REQUEST_ARRIVAL))
+
+
+def test_push_at_current_time_allowed():
+    queue = EventQueue()
+    queue.push(Event(10.0, EventKind.REQUEST_ARRIVAL))
+    queue.pop()
+    queue.push(Event(10.0, EventKind.STOP_REACHED))  # same instant: fine
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_len_and_bool():
+    queue = EventQueue()
+    assert not queue
+    queue.push(Event(1.0, EventKind.REQUEST_ARRIVAL))
+    assert queue
+    assert len(queue) == 1
+
+
+def test_current_time_tracks_pops():
+    queue = EventQueue()
+    queue.push(Event(7.5, EventKind.REQUEST_ARRIVAL))
+    queue.pop()
+    assert queue.current_time == 7.5

@@ -1,0 +1,94 @@
+"""Failure injection: degenerate inputs the system must survive."""
+
+import pytest
+
+from repro.core.matching import Dispatcher, KineticAgent
+from repro.core.vehicle import Vehicle
+from repro.exceptions import TreeBudgetExceeded
+from repro.roadnet.engine import DijkstraEngine
+from repro.roadnet.graph import RoadNetwork
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.workload import TripSpec, burst_workload
+
+
+def test_unreachable_destination_rejected_cleanly():
+    """A request between disconnected components is refused at stamping,
+    never reaching the matcher."""
+    g = RoadNetwork(
+        6,
+        [(0, 1, 10.0), (1, 2, 10.0), (3, 4, 10.0), (4, 5, 10.0)],
+    )
+    engine = DijkstraEngine(g)
+    agent = KineticAgent(Vehicle(0, 0, capacity=4), engine)
+    dispatcher = Dispatcher(engine, [agent])
+    assert dispatcher.make_request(0, 5, 0.0, 600.0, 0.2) is None
+
+
+def test_simulation_skips_unreachable_trips(small_city, city_engine):
+    """Degenerate trip specs (origin == destination) are dropped, and the
+    simulation completes normally."""
+    trips = [
+        TripSpec(0, 0, 10.0),  # degenerate
+        TripSpec(0, 25, 20.0),
+        TripSpec(30, 30, 30.0),  # degenerate
+        TripSpec(40, 75, 40.0),
+    ]
+    report = simulate(
+        city_engine, SimulationConfig(num_vehicles=4, seed=0), trips
+    )
+    assert report.num_requests == 2
+    assert report.verify_service_guarantees() == []
+
+
+def test_zero_wait_requests_all_rejected(small_city, city_engine):
+    from repro.core.constraints import ConstraintConfig
+
+    trips = [TripSpec(0, 25, 10.0), TripSpec(90, 12, 20.0)]
+    config = SimulationConfig(
+        num_vehicles=3,
+        constraints=ConstraintConfig(1e-6, 0.0),
+        seed=0,
+    )
+    report = simulate(city_engine, config, trips)
+    # A vehicle would have to sit exactly on the pickup vertex; with 3
+    # random vehicles on 100 vertices rejection is the expected outcome.
+    assert report.num_rejected >= 1
+
+
+def test_budget_exceeded_propagates_from_simulation(small_city, city_engine):
+    """An unlimited-capacity burst with a tiny expansion budget must
+    surface TreeBudgetExceeded rather than hang."""
+    trips = burst_workload(
+        small_city, center_vertex=55, num_trips=8, request_time=10.0,
+        dest_center_vertex=0, seed=3,
+    )
+    config = SimulationConfig(
+        num_vehicles=1,
+        capacity=None,
+        algorithm="kinetic",
+        tree_mode="basic",
+        tree_expansion_budget=30,
+        seed=0,
+    )
+    with pytest.raises(TreeBudgetExceeded):
+        simulate(city_engine, config, trips)
+
+
+def test_single_vehicle_fleet(small_city, city_engine):
+    trips = [TripSpec(0, 25, 10.0), TripSpec(26, 60, 400.0)]
+    report = simulate(
+        city_engine, SimulationConfig(num_vehicles=1, seed=0), trips
+    )
+    assert report.num_assigned >= 1
+    assert report.verify_service_guarantees() == []
+
+
+def test_all_requests_at_same_instant(small_city, city_engine):
+    trips = [TripSpec(i * 7 % 99, (i * 13 + 1) % 99, 50.0) for i in range(6)]
+    trips = [t for t in trips if t.origin != t.destination]
+    report = simulate(
+        city_engine, SimulationConfig(num_vehicles=5, seed=1), trips
+    )
+    assert report.num_requests == len(trips)
+    assert report.verify_service_guarantees() == []

@@ -1,0 +1,121 @@
+"""Metric collectors."""
+
+import pytest
+
+from repro.core.request import TripRequest
+from repro.sim.metrics import (
+    ARTCollector,
+    OccupancyTracker,
+    RunningStats,
+    SimulationReport,
+)
+
+
+def test_running_stats_basic():
+    stats = RunningStats()
+    for v in (1.0, 2.0, 3.0):
+        stats.add(v)
+    assert stats.count == 3
+    assert stats.mean == 2.0
+    assert stats.min == 1.0
+    assert stats.max == 3.0
+
+
+def test_running_stats_empty():
+    stats = RunningStats()
+    assert stats.mean == 0.0
+    assert stats.as_dict()["min"] == 0.0
+
+
+def test_art_collector_buckets():
+    art = ARTCollector()
+    art.record(0, 0.001)
+    art.record(0, 0.003)
+    art.record(4, 0.010)
+    assert art.mean_for(0) == pytest.approx(0.002)
+    assert art.mean_for(4) == pytest.approx(0.010)
+    assert art.mean_for(7) is None
+    assert list(art.as_dict()) == [0, 4]
+
+
+def test_occupancy_tracker():
+    occ = OccupancyTracker()
+    for load in (1, 3, 2):
+        occ.observe(1, load)
+    occ.observe(2, 5)
+    for vid in range(3, 12):
+        occ.observe(vid, 1)
+    assert occ.max_passengers == 5
+    assert occ.mean_max_per_vehicle == pytest.approx((3 + 5 + 9) / 11)
+    # Top 20% of 11 vehicles = top 2: loads 5 and 3.
+    assert occ.top20_mean == pytest.approx(4.0)
+    assert occ.mean_load_at_stops > 0
+
+
+def test_occupancy_empty():
+    occ = OccupancyTracker()
+    assert occ.max_passengers == 0
+    assert occ.mean_max_per_vehicle == 0.0
+    assert occ.top20_mean == 0.0
+    assert occ.mean_load_at_stops == 0.0
+
+
+class _FakeResult:
+    def __init__(self, assigned, elapsed=0.01, cost=100.0):
+        self.elapsed = elapsed
+        self.num_candidates = 3
+        self.quote_timings = [(0, 0.001), (2, 0.004)]
+        self.assigned = assigned
+        self.cost = cost if assigned else float("inf")
+
+
+def test_report_record_assignment():
+    report = SimulationReport()
+    report.record_assignment(_FakeResult(True))
+    report.record_assignment(_FakeResult(False))
+    assert report.num_requests == 2
+    assert report.num_assigned == 1
+    assert report.num_rejected == 1
+    assert report.service_rate == 0.5
+    assert report.acrt_ms == pytest.approx(10.0)
+    assert report.art_ms(0) == pytest.approx(1.0)
+    assert report.art_ms(9) is None
+    summary = report.summary()
+    assert summary["requests"] == 2
+    assert summary["service_rate"] == 0.5
+
+
+def test_report_empty_summary():
+    report = SimulationReport()
+    assert report.service_rate == 0.0
+    assert report.summary()["acrt_ms"] == 0.0
+
+
+def test_verify_service_guarantees():
+    report = SimulationReport()
+    request = TripRequest(1, 0, 5, 100.0, 60.0, 0.2, 100.0)
+    report.service_log[1] = {
+        "request": request,
+        "pickup": 150.0,
+        "dropoff": 260.0,
+    }
+    assert report.verify_service_guarantees() == []
+    # Late pickup.
+    report.service_log[1]["pickup"] = 161.0
+    violations = report.verify_service_guarantees()
+    assert len(violations) == 1 and "deadline" in violations[0]
+    # Ride budget blown: budget = 120 s.
+    report.service_log[1] = {
+        "request": request,
+        "pickup": 150.0,
+        "dropoff": 150.0 + 121.0,
+    }
+    violations = report.verify_service_guarantees()
+    assert len(violations) == 1 and "ride" in violations[0]
+
+
+def test_verify_ignores_inflight():
+    report = SimulationReport()
+    request = TripRequest(1, 0, 5, 100.0, 60.0, 0.2, 100.0)
+    report.service_log[1] = {"request": request, "pickup": 150.0}
+    assert report.verify_service_guarantees() == []

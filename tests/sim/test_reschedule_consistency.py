@@ -1,0 +1,60 @@
+"""Cross-algorithm simulation consistency: the exact reschedulers and the
+kinetic tree must produce identical assignment *decisions* in the full
+simulator (they optimize the same objective exactly)."""
+
+import pytest
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.workload import ShanghaiLikeWorkload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    city = grid_city(12, 12, seed=23)
+    engine = MatrixEngine(city)
+    trips = ShanghaiLikeWorkload(city, seed=23, min_trip_meters=500.0).generate(
+        num_trips=50, duration_seconds=900
+    )
+    return engine, trips
+
+
+def run(setup, algorithm):
+    engine, trips = setup
+    return simulate(
+        engine,
+        SimulationConfig(num_vehicles=8, algorithm=algorithm, seed=4),
+        trips,
+    )
+
+
+def test_kinetic_and_bruteforce_assign_identically(setup):
+    kinetic = run(setup, "kinetic")
+    brute = run(setup, "brute_force")
+    assert kinetic.num_assigned == brute.num_assigned
+    for rid, entry in kinetic.service_log.items():
+        other = brute.service_log.get(rid)
+        assert other is not None
+        assert entry["vehicle"] == other["vehicle"], f"request {rid}"
+        assert entry["assigned_cost"] == pytest.approx(other["assigned_cost"])
+
+
+def test_kinetic_and_branch_and_bound_assign_identically(setup):
+    kinetic = run(setup, "kinetic")
+    bb = run(setup, "branch_and_bound")
+    for rid, entry in kinetic.service_log.items():
+        other = bb.service_log.get(rid)
+        assert other is not None
+        assert entry["vehicle"] == other["vehicle"]
+
+
+def test_total_costs_match_across_exact_algorithms(setup):
+    totals = {
+        name: run(setup, name).total_assignment_cost
+        for name in ("kinetic", "brute_force", "branch_and_bound")
+    }
+    reference = totals["kinetic"]
+    for name, total in totals.items():
+        assert total == pytest.approx(reference, rel=1e-9), totals

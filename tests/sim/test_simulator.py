@@ -1,0 +1,162 @@
+"""End-to-end simulation integration tests.
+
+The crown-jewel assertion: for every algorithm, every assigned rider's
+*executed* service respects the paper's guarantees — picked up within
+``w`` of requesting and carried within ``(1 + eps) d(s, e)``.
+"""
+
+import pytest
+
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import Simulation, simulate
+from repro.sim.workload import ShanghaiLikeWorkload, burst_workload
+
+
+@pytest.fixture(scope="module")
+def sim_city():
+    return grid_city(15, 15, seed=4)
+
+
+@pytest.fixture(scope="module")
+def sim_engine(sim_city):
+    return MatrixEngine(sim_city)
+
+
+@pytest.fixture(scope="module")
+def sim_trips(sim_city):
+    return ShanghaiLikeWorkload(sim_city, seed=4, min_trip_meters=600.0).generate(
+        num_trips=80, duration_seconds=1200
+    )
+
+
+ALGORITHMS = ["kinetic", "brute_force", "branch_and_bound", "insertion"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_service_guarantees_hold(sim_engine, sim_trips, algorithm):
+    config = SimulationConfig(num_vehicles=12, algorithm=algorithm, seed=1)
+    report = simulate(sim_engine, config, sim_trips)
+    assert report.num_requests == len(sim_trips)
+    assert report.verify_service_guarantees() == []
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_requests_get_serviced(sim_engine, sim_trips, algorithm):
+    config = SimulationConfig(num_vehicles=12, algorithm=algorithm, seed=1)
+    report = simulate(sim_engine, config, sim_trips)
+    assert report.service_rate > 0.5
+    # Every assigned request is eventually picked up AND dropped off
+    # (the simulation runs its event queue dry).
+    for rid, entry in report.service_log.items():
+        assert "pickup" in entry, f"request {rid} assigned but never picked up"
+        assert "dropoff" in entry, f"request {rid} picked up but never dropped"
+
+
+def test_kinetic_tree_modes_agree_on_assignments(sim_engine, sim_trips):
+    reports = {}
+    for mode in ("basic", "slack"):
+        config = SimulationConfig(
+            num_vehicles=12, algorithm="kinetic", tree_mode=mode, seed=1
+        )
+        reports[mode] = simulate(sim_engine, config, sim_trips)
+    basic, slack = reports["basic"], reports["slack"]
+    assert basic.num_assigned == slack.num_assigned
+    # Same requests to the same vehicles at the same cost.
+    for rid, entry in basic.service_log.items():
+        other = slack.service_log[rid]
+        assert entry["vehicle"] == other["vehicle"]
+        assert entry["assigned_cost"] == pytest.approx(other["assigned_cost"])
+
+
+def test_deterministic_given_seed(sim_engine, sim_trips):
+    config = SimulationConfig(num_vehicles=10, algorithm="kinetic", seed=9)
+    a = simulate(sim_engine, config, sim_trips)
+    b = simulate(sim_engine, config, sim_trips)
+    assert a.num_assigned == b.num_assigned
+    assert a.total_assignment_cost == pytest.approx(b.total_assignment_cost)
+    for rid in a.service_log:
+        assert a.service_log[rid].get("vehicle") == b.service_log[rid].get("vehicle")
+
+
+def test_grid_index_does_not_change_assignability(sim_engine, sim_trips):
+    """The index is a conservative filter: disabling it must not *add*
+    assignments (it only widens the candidate set)."""
+    with_index = simulate(
+        sim_engine,
+        SimulationConfig(num_vehicles=10, algorithm="kinetic", seed=3),
+        sim_trips,
+    )
+    without_index = simulate(
+        sim_engine,
+        SimulationConfig(
+            num_vehicles=10, algorithm="kinetic", seed=3, use_grid_index=False
+        ),
+        sim_trips,
+    )
+    assert with_index.num_assigned == without_index.num_assigned
+    assert with_index.verify_service_guarantees() == []
+
+
+def test_occupancy_tracked(sim_engine, sim_trips):
+    report = simulate(
+        sim_engine,
+        SimulationConfig(num_vehicles=8, algorithm="kinetic", seed=1),
+        sim_trips,
+    )
+    assert report.occupancy.max_passengers >= 1
+
+
+def test_burst_simulation_with_hotspot_tree(sim_city, sim_engine):
+    trips = burst_workload(
+        sim_city, center_vertex=112, num_trips=8, request_time=100.0,
+        dest_center_vertex=0, seed=5,
+    )
+    config = SimulationConfig(
+        num_vehicles=3,
+        capacity=None,
+        algorithm="kinetic",
+        hotspot_theta=45.0,
+        seed=2,
+    )
+    report = simulate(sim_engine, config, trips)
+    assert report.verify_service_guarantees() == []
+    assert report.num_assigned >= 6
+
+
+def test_empty_trip_stream(sim_engine):
+    report = simulate(
+        sim_engine, SimulationConfig(num_vehicles=3, seed=0), []
+    )
+    assert report.num_requests == 0
+
+
+def test_simulation_object_exposes_state(sim_engine, sim_trips):
+    sim = Simulation(
+        sim_engine, SimulationConfig(num_vehicles=5, seed=0), sim_trips[:10]
+    )
+    report = sim.run()
+    assert len(sim.agents) == 5
+    assert report.wall_seconds > 0
+    assert "grid_stats" in report.extra
+
+
+def test_eager_and_lazy_same_assignments(sim_engine, sim_trips):
+    lazy = simulate(
+        sim_engine,
+        SimulationConfig(num_vehicles=10, algorithm="kinetic", seed=5),
+        sim_trips,
+    )
+    eager = simulate(
+        sim_engine,
+        SimulationConfig(
+            num_vehicles=10, algorithm="kinetic", seed=5, eager_invalidation=True
+        ),
+        sim_trips,
+    )
+    assert lazy.num_assigned == eager.num_assigned
+    for rid in lazy.service_log:
+        assert lazy.service_log[rid].get("vehicle") == eager.service_log[
+            rid
+        ].get("vehicle")

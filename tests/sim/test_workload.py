@@ -1,0 +1,127 @@
+"""Synthetic workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.workload import (
+    PAPER_TRIPS_PER_VEHICLE_HOUR,
+    ShanghaiLikeWorkload,
+    burst_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def workload(small_city):
+    return ShanghaiLikeWorkload(small_city, seed=5, min_trip_meters=400.0)
+
+
+def test_generates_requested_count(workload):
+    trips = workload.generate(num_trips=120, duration_seconds=1800)
+    assert len(trips) == 120
+
+
+def test_sorted_by_time(workload):
+    trips = workload.generate(num_trips=80, duration_seconds=1800)
+    times = [t.request_time for t in trips]
+    assert times == sorted(times)
+
+
+def test_times_within_window(workload):
+    start = 7 * 3600.0
+    trips = workload.generate(num_trips=80, duration_seconds=1800, start_seconds=start)
+    assert all(start <= t.request_time <= start + 1800 for t in trips)
+
+
+def test_no_degenerate_trips(workload, small_city):
+    trips = workload.generate(num_trips=100, duration_seconds=1800)
+    coords = small_city.coords
+    for trip in trips:
+        assert trip.origin != trip.destination
+        span = np.hypot(*(coords[trip.origin] - coords[trip.destination]))
+        assert span >= 400.0
+
+
+def test_deterministic_per_seed(small_city):
+    a = ShanghaiLikeWorkload(small_city, seed=9).generate(50, 900)
+    b = ShanghaiLikeWorkload(small_city, seed=9).generate(50, 900)
+    assert a == b
+
+
+def test_different_seeds_differ(small_city):
+    a = ShanghaiLikeWorkload(small_city, seed=1).generate(50, 900)
+    b = ShanghaiLikeWorkload(small_city, seed=2).generate(50, 900)
+    assert a != b
+
+
+def test_hotspot_weight_skews_distribution(small_city):
+    """With weight 1.0 all endpoints come from hotspot neighborhoods."""
+    wl = ShanghaiLikeWorkload(
+        small_city, seed=3, hotspot_weight=1.0, hotspot_radius_meters=100.0,
+        min_trip_meters=0.0,
+    )
+    trips = wl.generate(60, 900)
+    hotspot_coords = small_city.coords[wl.hotspots]
+    for trip in trips:
+        o = small_city.coords[trip.origin]
+        distance_to_hotspot = np.min(np.hypot(*(hotspot_coords - o).T))
+        assert distance_to_hotspot < 800.0
+
+
+def test_generate_for_fleet_uses_paper_ratio(workload):
+    trips = workload.generate_for_fleet(num_vehicles=100, duration_seconds=3600)
+    expected = round(100 * PAPER_TRIPS_PER_VEHICLE_HOUR)
+    assert len(trips) == expected
+
+
+def test_paper_ratio_value():
+    assert PAPER_TRIPS_PER_VEHICLE_HOUR == pytest.approx(1.0596, abs=1e-3)
+
+
+def test_requires_coords(line_graph):
+    with pytest.raises(ValueError):
+        ShanghaiLikeWorkload(line_graph)
+
+
+def test_invalid_hotspot_weight(small_city):
+    with pytest.raises(ValueError):
+        ShanghaiLikeWorkload(small_city, hotspot_weight=1.5)
+
+
+def test_negative_trip_count(workload):
+    with pytest.raises(ValueError):
+        workload.generate(-5, 900)
+
+
+def test_impossible_min_length(small_city):
+    wl = ShanghaiLikeWorkload(small_city, seed=0, min_trip_meters=1e9)
+    with pytest.raises(ValueError):
+        wl.generate(10, 900)
+
+
+# ----------------------------------------------------------------------
+# Burst workloads (Section V scenario)
+# ----------------------------------------------------------------------
+def test_burst_pickups_colocated(small_city):
+    specs = burst_workload(small_city, center_vertex=45, num_trips=6,
+                           request_time=100.0, seed=1)
+    assert len(specs) >= 5
+    coords = small_city.coords
+    center = coords[45]
+    for spec in specs:
+        assert np.hypot(*(coords[spec.origin] - center)) < 800.0
+        assert 100.0 <= spec.request_time < 110.0
+
+
+def test_burst_clustered_destinations(small_city):
+    specs = burst_workload(
+        small_city, 0, 6, 0.0, dest_center_vertex=99, seed=2
+    )
+    coords = small_city.coords
+    target = coords[99]
+    for spec in specs:
+        assert np.hypot(*(coords[spec.destination] - target)) < 800.0
+
+
+def test_burst_requires_coords(line_graph):
+    with pytest.raises(ValueError):
+        burst_workload(line_graph, 0, 3, 0.0)

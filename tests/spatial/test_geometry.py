@@ -1,0 +1,46 @@
+"""Geometry helpers."""
+
+import pytest
+
+from repro.spatial.geometry import BoundingBox, euclidean_distance
+
+
+def test_euclidean_distance():
+    assert euclidean_distance((0, 0), (3, 4)) == 5.0
+    assert euclidean_distance((1, 1), (1, 1)) == 0.0
+
+
+def test_bbox_dimensions():
+    box = BoundingBox(0, 0, 10, 5)
+    assert box.width == 10
+    assert box.height == 5
+
+
+def test_bbox_negative_extent_rejected():
+    with pytest.raises(ValueError):
+        BoundingBox(5, 0, 0, 10)
+
+
+def test_bbox_contains():
+    box = BoundingBox(0, 0, 10, 10)
+    assert box.contains(5, 5)
+    assert box.contains(0, 0)  # inclusive
+    assert box.contains(10, 10)
+    assert not box.contains(-0.1, 5)
+    assert not box.contains(5, 10.1)
+
+
+def test_bbox_clamp():
+    box = BoundingBox(0, 0, 10, 10)
+    assert box.clamp(5, 5) == (5, 5)
+    assert box.clamp(-3, 20) == (0, 10)
+
+
+def test_bbox_of_points():
+    box = BoundingBox.of_points([(1, 2), (4, -1), (0, 3)])
+    assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, -1, 4, 3)
+
+
+def test_bbox_of_points_empty():
+    with pytest.raises(ValueError):
+        BoundingBox.of_points([])

@@ -1,0 +1,85 @@
+"""The public API surface: everything advertised imports and is documented."""
+
+import inspect
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+
+def test_public_items_documented():
+    """Every class/function exported at the top level carries a docstring."""
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_subpackages_documented():
+    import repro.algorithms
+    import repro.bench
+    import repro.core
+    import repro.roadnet
+    import repro.sim
+    import repro.spatial
+
+    for module in (
+        repro,
+        repro.roadnet,
+        repro.spatial,
+        repro.core,
+        repro.algorithms,
+        repro.sim,
+        repro.bench,
+    ):
+        assert (module.__doc__ or "").strip(), f"{module.__name__} lacks a docstring"
+
+
+def test_quickstart_snippet_from_readme():
+    """The README's quickstart snippet executes as written."""
+    from repro import Dispatcher, KineticAgent, Vehicle, grid_city, make_engine
+
+    city = grid_city(20, 20, seed=7)
+    engine = make_engine(city)
+    agents = [
+        KineticAgent(Vehicle(i, start_vertex=40 * i, capacity=4), engine)
+        for i in range(4)
+    ]
+    dispatcher = Dispatcher(engine, agents)
+    request = dispatcher.make_request(
+        origin=5, destination=210, request_time=0.0,
+        max_wait=600.0, detour_epsilon=0.2,
+    )
+    result = dispatcher.submit(request, now=0.0)
+    assert result.assigned
+    assert result.winner.tree.best_schedule() is not None
+
+
+def test_module_docstring_quickstart():
+    """The package docstring's example executes as written."""
+    from repro import (
+        ShanghaiLikeWorkload,
+        SimulationConfig,
+        grid_city,
+        make_engine,
+        simulate,
+    )
+
+    city = grid_city(30, 30, seed=7)
+    engine = make_engine(city)
+    trips = ShanghaiLikeWorkload(city, seed=7).generate(
+        num_trips=50, duration_seconds=3600
+    )
+    report = simulate(engine, SimulationConfig(num_vehicles=50), trips)
+    summary = report.summary()
+    assert summary["requests"] == 50
