@@ -23,6 +23,16 @@ Package map:
 * :mod:`repro.spatial` — grid index over moving vehicles;
 * :mod:`repro.core` — requests, schedules, vehicles, the dispatcher and
   the **kinetic tree** (the paper's contribution);
+* :mod:`repro.dispatch` — the **dispatch subsystem**: rolling-horizon
+  request batching (:class:`BatchWindow`) and pluggable batch assignment
+  policies behind :class:`DispatchPolicy` — ``greedy`` (the paper's
+  sequential cheapest-quote; with ``batch_window_s=0`` it *is* immediate
+  dispatch), ``lap`` (one optimal request x vehicle linear assignment per
+  window via a pure-numpy Hungarian solver, after Simonetto et al.) and
+  ``iterative`` (repeated assignment rounds re-quoting unassigned
+  requests, after Vakayil et al.). Configure through
+  :class:`SimulationConfig` (``dispatch_policy``, ``batch_window_s``,
+  ``assignment_rounds``);
 * :mod:`repro.algorithms` — brute force, branch & bound, MIP and
   insertion baselines;
 * :mod:`repro.sim` — event-driven simulator, synthetic Shanghai-like
@@ -64,6 +74,19 @@ from repro.core import (
     dropoff,
     evaluate_schedule,
     pickup,
+)
+from repro.dispatch import (
+    BatchDispatcher,
+    BatchResult,
+    BatchWindow,
+    DispatchPolicy,
+    GreedyPolicy,
+    IterativePolicy,
+    LapPolicy,
+    POLICY_REGISTRY,
+    build_cost_matrix,
+    make_policy,
+    solve_assignment,
 )
 from repro.roadnet import (
     DijkstraEngine,
@@ -132,6 +155,18 @@ __all__ = [
     "RescheduleAgent",
     "Quote",
     "AssignmentResult",
+    # dispatch
+    "BatchDispatcher",
+    "BatchResult",
+    "BatchWindow",
+    "DispatchPolicy",
+    "GreedyPolicy",
+    "IterativePolicy",
+    "LapPolicy",
+    "POLICY_REGISTRY",
+    "build_cost_matrix",
+    "make_policy",
+    "solve_assignment",
     # algorithms
     "SchedulingAlgorithm",
     "BruteForce",

@@ -81,6 +81,15 @@ class VehicleAgent(abc.ABC):
         """Best augmented-schedule cost for ``request``, without mutating
         any committed state. ``None`` = cannot serve."""
 
+    def quote_batch(
+        self, requests: Sequence[TripRequest], now: float
+    ) -> list["Quote | None"]:
+        """Quote several requests from one decision point (batched
+        dispatch). Subclasses override to compute the per-vehicle setup
+        (decision point, path prefixes) once instead of per request; the
+        fallback just quotes sequentially."""
+        return [self.quote(request, now) for request in requests]
+
     @abc.abstractmethod
     def commit(self, quote: Quote) -> None:
         """Adopt a previously returned quote (the request is won)."""
@@ -167,8 +176,9 @@ class KineticAgent(VehicleAgent):
             schedule_cap=schedule_cap,
         )
 
-    def quote(self, request: TripRequest, now: float) -> Quote | None:
-        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+    def _quote_at(
+        self, request: TripRequest, vertex: int, t: float
+    ) -> Quote | None:
         trial = self.tree.try_insert(request, vertex, t)
         if trial is None:
             return None
@@ -180,6 +190,20 @@ class KineticAgent(VehicleAgent):
             decision_time=t,
             payload=trial,
         )
+
+    def quote(self, request: TripRequest, now: float) -> Quote | None:
+        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        return self._quote_at(request, vertex, t)
+
+    def quote_batch(
+        self, requests: Sequence[TripRequest], now: float
+    ) -> list[Quote | None]:
+        """Trial-insert every request from one shared decision point: the
+        vehicle's position is resolved once, and all trials expand the
+        same tree from the same root, so shared path prefixes hit the
+        engine's caches instead of being recomputed per request."""
+        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        return [self._quote_at(request, vertex, t) for request in requests]
 
     def commit(self, quote: Quote) -> None:
         trial: KineticTrial = quote.payload
@@ -239,8 +263,9 @@ class RescheduleAgent(VehicleAgent):
             capacity=self.vehicle.capacity,
         )
 
-    def quote(self, request: TripRequest, now: float) -> Quote | None:
-        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+    def _quote_at(
+        self, request: TripRequest, vertex: int, t: float
+    ) -> Quote | None:
         result = self.algorithm.solve(self._problem(request, vertex, t))
         if result is None:
             return None
@@ -252,6 +277,18 @@ class RescheduleAgent(VehicleAgent):
             decision_time=t,
             payload=result,
         )
+
+    def quote(self, request: TripRequest, now: float) -> Quote | None:
+        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        return self._quote_at(request, vertex, t)
+
+    def quote_batch(
+        self, requests: Sequence[TripRequest], now: float
+    ) -> list[Quote | None]:
+        """Re-solve once per request from one shared decision point; the
+        (onboard, pending) base problem is identical across the batch."""
+        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        return [self._quote_at(request, vertex, t) for request in requests]
 
     def commit(self, quote: Quote) -> None:
         result: ScheduleResult = quote.payload

@@ -1,0 +1,49 @@
+"""Batched dispatch: rolling-horizon windows + global assignment.
+
+The layer between the request stream and the vehicle agents. Immediate
+dispatch (the paper's Section VI) is the degenerate case of a zero-length
+window under the ``greedy`` policy; with a positive ``batch_window_s``
+the simulator accumulates requests in a :class:`BatchWindow`, and on each
+periodic ``BATCH_DISPATCH`` event a :class:`BatchDispatcher` matches the
+whole batch through a pluggable :class:`DispatchPolicy`:
+
+* :class:`GreedyPolicy` — paper-equivalent sequential cheapest-quote;
+* :class:`LapPolicy` — one optimal request x vehicle linear assignment
+  (pure-numpy Hungarian solver, :func:`solve_assignment`);
+* :class:`IterativePolicy` — repeated assignment rounds re-quoting
+  unassigned requests against updated schedules.
+
+Cost matrices are built per vehicle (:func:`build_cost_matrix`), so a
+vehicle quoting many requests computes its decision point once and reuses
+its shortest-path locality across the batch.
+"""
+
+from repro.dispatch.costs import CostMatrix, build_cost_matrix
+from repro.dispatch.dispatcher import BatchDispatcher
+from repro.dispatch.policies import (
+    BatchResult,
+    DispatchPolicy,
+    GreedyPolicy,
+    IterativePolicy,
+    LapPolicy,
+    POLICY_REGISTRY,
+    make_policy,
+)
+from repro.dispatch.solver import assignment_cost, solve_assignment
+from repro.dispatch.window import BatchWindow
+
+__all__ = [
+    "BatchDispatcher",
+    "BatchResult",
+    "BatchWindow",
+    "CostMatrix",
+    "DispatchPolicy",
+    "GreedyPolicy",
+    "IterativePolicy",
+    "LapPolicy",
+    "POLICY_REGISTRY",
+    "assignment_cost",
+    "build_cost_matrix",
+    "make_policy",
+    "solve_assignment",
+]

@@ -1,0 +1,50 @@
+"""The batch dispatcher: one flush at a time instead of one request.
+
+:class:`BatchDispatcher` generalises the per-request
+:class:`~repro.core.matching.Dispatcher` to whole windows: the simulator
+hands it the batch a :class:`~repro.dispatch.window.BatchWindow`
+accumulated, and the configured :class:`~repro.dispatch.policies.DispatchPolicy`
+quotes, solves and commits. Candidate filtering, quoting and commit
+semantics are the underlying dispatcher's — this layer only changes *when*
+and *together with whom* requests are matched, which is why a zero-length
+window under the ``greedy`` policy reduces exactly to immediate dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.matching import Dispatcher
+from repro.core.request import TripRequest
+from repro.dispatch.policies import BatchResult, DispatchPolicy
+
+
+class BatchDispatcher:
+    """Matches request batches to vehicles via a pluggable policy."""
+
+    def __init__(self, dispatcher: Dispatcher, policy: DispatchPolicy):
+        self.dispatcher = dispatcher
+        self.policy = policy
+
+    def make_request(
+        self,
+        origin: int,
+        destination: int,
+        request_time: float,
+        max_wait: float,
+        detour_epsilon: float,
+    ) -> TripRequest | None:
+        """Stamp a raw trip spec (delegates to the wrapped dispatcher, so
+        request ids stay globally sequential)."""
+        return self.dispatcher.make_request(
+            origin, destination, request_time, max_wait, detour_epsilon
+        )
+
+    def dispatch(
+        self, requests: Sequence[TripRequest], now: float
+    ) -> BatchResult:
+        """Assign one batch at ``now``; winning quotes are committed."""
+        return self.policy.assign(self.dispatcher, list(requests), now)
+
+    def __repr__(self) -> str:
+        return f"BatchDispatcher(policy={self.policy!r})"

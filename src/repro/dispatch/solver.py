@@ -1,0 +1,109 @@
+"""Pure-numpy linear assignment for batched dispatch.
+
+The ``lap``/``iterative`` policies need a minimum-cost one-to-one
+matching between a batch of requests (rows) and candidate vehicles
+(columns) where many pairs are infeasible (no valid augmented schedule —
+``np.inf`` in the cost matrix). No new dependencies: this is the classic
+O(n^3) Hungarian algorithm in its shortest-augmenting-path (potentials)
+form, the same algorithm behind ``scipy.optimize.linear_sum_assignment``.
+
+Infeasibility is handled by the standard "big-M" reduction: infeasible
+cells are replaced by a constant larger than any possible finite
+assignment-cost difference, so the solver first *maximizes the number of
+feasible pairs* and only then minimizes total cost among them; pairs that
+still land on a big-M cell are dropped from the result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _hungarian_square(cost: np.ndarray) -> np.ndarray:
+    """Optimal assignment of a square all-finite cost matrix.
+
+    Returns ``p`` of length ``n + 1`` where ``p[j]`` (1-based) is the row
+    assigned to column ``j``; index 0 is the algorithm's sentinel column.
+    """
+    n = cost.shape[0]
+    u = np.zeros(n + 1)
+    v = np.zeros(n + 1)
+    p = np.zeros(n + 1, dtype=np.int64)
+    way = np.zeros(n + 1, dtype=np.int64)
+    cols = np.arange(1, n + 1)
+    for i in range(1, n + 1):
+        p[0] = i
+        j0 = 0
+        minv = np.full(n + 1, np.inf)
+        used = np.zeros(n + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            free = cols[~used[1:]]
+            reduced = cost[i0 - 1, free - 1] - u[i0] - v[free]
+            better = reduced < minv[free]
+            improved = free[better]
+            minv[improved] = reduced[better]
+            way[improved] = j0
+            j1 = free[np.argmin(minv[free])]
+            delta = minv[j1]
+            u[p[used]] += delta
+            v[used] -= delta
+            minv[~used] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment along the alternating path back to the sentinel.
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    return p
+
+
+def solve_assignment(costs) -> list[tuple[int, int]]:
+    """Minimum-cost maximum-cardinality assignment with infeasible cells.
+
+    Parameters
+    ----------
+    costs:
+        ``(m, n)`` array-like; ``costs[i, j]`` is the cost of giving row
+        (request) ``i`` to column (vehicle) ``j``, ``np.inf`` (or NaN)
+        where the pair is infeasible. Rectangular matrices are fine.
+
+    Returns
+    -------
+    Sorted ``(row, column)`` pairs — at most one per row and per column,
+    covering as many rows as feasibility allows, with minimum total cost
+    among all such maximum matchings.
+    """
+    matrix = np.asarray(costs, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("cost matrix must be 2-dimensional")
+    m, n = matrix.shape
+    if m == 0 or n == 0:
+        return []
+    feasible = np.isfinite(matrix)
+    if not feasible.any():
+        return []
+    finite = matrix[feasible]
+    # Big enough that one extra infeasible cell always costs more than
+    # any rearrangement of finite cells can save.
+    big = 2.0 * float(np.abs(finite).sum()) + 1.0
+    k = max(m, n)
+    square = np.zeros((k, k))
+    square[:m, :n] = np.where(feasible, matrix, big)
+    p = _hungarian_square(square)
+    pairs = [
+        (int(p[j] - 1), j - 1)
+        for j in range(1, k + 1)
+        if p[j] - 1 < m and j - 1 < n and feasible[p[j] - 1, j - 1]
+    ]
+    pairs.sort()
+    return pairs
+
+
+def assignment_cost(costs, pairs) -> float:
+    """Total cost of an assignment returned by :func:`solve_assignment`."""
+    matrix = np.asarray(costs, dtype=float)
+    return float(sum(matrix[i, j] for i, j in pairs))

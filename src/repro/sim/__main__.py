@@ -5,6 +5,7 @@ Run a full ridesharing simulation on a generated city from the shell::
     python -m repro.sim --vehicles 50 --trips 200 --algorithm kinetic
     python -m repro.sim --algorithm mip --trips 40 --constraints 5:10
     python -m repro.sim --capacity unlimited --hotspot-theta 40
+    python -m repro.sim --dispatch-policy lap --batch-window 15
 
 Prints the Section VI metrics (ACRT, ART buckets, occupancy, service
 rate) and the service-guarantee audit.
@@ -17,6 +18,7 @@ import sys
 
 from repro.algorithms.base import ALGORITHM_REGISTRY
 from repro.core.constraints import ConstraintConfig
+from repro.dispatch.policies import POLICY_REGISTRY
 from repro.roadnet.engine import make_engine
 from repro.roadnet.generators import grid_city
 from repro.sim.config import SimulationConfig
@@ -71,6 +73,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-trip-meters", type=float, default=1000.0,
         help="discard shorter generated trips",
     )
+    parser.add_argument(
+        "--dispatch-policy",
+        default="greedy",
+        choices=sorted(POLICY_REGISTRY),
+        help="batch assignment policy (repro.dispatch)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.0,
+        help="batch window seconds; 0 = immediate per-request dispatch",
+    )
+    parser.add_argument(
+        "--assignment-rounds", type=int, default=3,
+        help="max LAP rounds for the iterative policy",
+    )
     return parser
 
 
@@ -89,6 +105,9 @@ def main(argv: list[str] | None = None) -> int:
         algorithm=args.algorithm,
         tree_mode=args.tree_mode,
         hotspot_theta=args.hotspot_theta,
+        dispatch_policy=args.dispatch_policy,
+        batch_window_s=args.batch_window,
+        assignment_rounds=args.assignment_rounds,
         seed=args.seed,
     )
     print(

@@ -35,6 +35,16 @@ class SimulationConfig:
     report_interval:
         Seconds between vehicle location reports to the grid index
         (paper: 20-60 s).
+    dispatch_policy / batch_window_s / assignment_rounds:
+        Batched-dispatch subsystem (:mod:`repro.dispatch`).
+        ``dispatch_policy`` picks the batch assignment strategy
+        (``"greedy"`` — paper-equivalent sequential cheapest quote,
+        ``"lap"`` — one global linear-assignment round, ``"iterative"``
+        — up to ``assignment_rounds`` re-quoting rounds).
+        ``batch_window_s`` is the rolling-window length in seconds; 0
+        dispatches each request immediately on arrival (the paper's
+        behavior — with the ``greedy`` policy this reduces exactly to
+        the immediate :class:`~repro.core.matching.Dispatcher`).
     grid_cell_meters:
         Grid-index cell size.
     seed:
@@ -49,6 +59,9 @@ class SimulationConfig:
     hotspot_theta: float | None = None
     eager_invalidation: bool = False
     report_interval: float = 60.0
+    dispatch_policy: str = "greedy"
+    batch_window_s: float = 0.0
+    assignment_rounds: int = 3
     grid_cell_meters: float = 500.0
     use_grid_index: bool = True
     #: Assignment objective: "total" (the paper's — minimize the full
@@ -71,3 +84,24 @@ class SimulationConfig:
             raise ValueError("capacity must be >= 1 or None")
         if self.report_interval <= 0:
             raise ValueError("report_interval must be positive")
+        from repro.dispatch.policies import POLICY_REGISTRY
+
+        if self.dispatch_policy not in POLICY_REGISTRY:
+            known = ", ".join(sorted(POLICY_REGISTRY))
+            raise ValueError(
+                f"dispatch_policy must be one of: {known}"
+            )
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
+        if (
+            self.batch_window_s > 0
+            and self.batch_window_s >= self.constraints.max_wait_seconds
+        ):
+            raise ValueError(
+                f"batch_window_s ({self.batch_window_s:g}) must be shorter "
+                f"than the waiting-time guarantee "
+                f"({self.constraints.max_wait_seconds:g} s): requests held "
+                "for a full window would already have expired at dispatch"
+            )
+        if self.assignment_rounds < 1:
+            raise ValueError("assignment_rounds must be >= 1")

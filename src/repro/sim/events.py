@@ -12,12 +12,14 @@ from repro.exceptions import SimulationError
 
 class EventKind(enum.IntEnum):
     """Event types, ordered so simultaneous events resolve deterministically:
-    stop arrivals apply before new requests at the same instant, and
-    location reports come last."""
+    stop arrivals apply before new requests at the same instant, batch
+    flushes see every request that arrived by their instant, and location
+    reports come last."""
 
     STOP_REACHED = 0
     REQUEST_ARRIVAL = 1
-    LOCATION_REPORT = 2
+    BATCH_DISPATCH = 2
+    LOCATION_REPORT = 3
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,8 +28,8 @@ class Event:
 
     ``payload`` is kind-specific: a workload trip spec for request
     arrivals, a ``(vehicle_id, plan_version)`` pair for stop arrivals
-    (stale versions are dropped — vehicles re-plan), or a vehicle id for
-    location reports.
+    (stale versions are dropped — vehicles re-plan), a vehicle id for
+    location reports, and ``None`` for periodic batch-dispatch flushes.
     """
 
     time: float

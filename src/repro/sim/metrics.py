@@ -125,6 +125,13 @@ class SimulationReport:
     occupancy: OccupancyTracker = field(default_factory=OccupancyTracker)
     total_assignment_cost: float = 0.0
     candidate_counts: RunningStats = field(default_factory=RunningStats)
+    #: Batched dispatch (repro.dispatch): requests per flush, wall time
+    #: inside the assignment solver per flush, rejections per flush.
+    #: Immediate dispatch records each request as a singleton batch.
+    num_batches: int = 0
+    batch_sizes: RunningStats = field(default_factory=RunningStats)
+    solver_seconds: RunningStats = field(default_factory=RunningStats)
+    batch_rejections: RunningStats = field(default_factory=RunningStats)
     wall_seconds: float = 0.0
     #: request_id -> {"request", "vehicle", "assigned_cost", "pickup",
     #: "dropoff"} — everything needed to audit the service guarantee.
@@ -160,6 +167,16 @@ class SimulationReport:
             self.total_assignment_cost += result.cost
         else:
             self.num_rejected += 1
+
+    def record_batch(self, batch) -> None:
+        """Fold one :class:`~repro.dispatch.policies.BatchResult` in
+        (empty flushes are not recorded)."""
+        if batch.batch_size == 0:
+            return
+        self.num_batches += 1
+        self.batch_sizes.add(batch.batch_size)
+        self.solver_seconds.add(batch.solver_seconds)
+        self.batch_rejections.add(batch.num_rejected)
 
     def verify_service_guarantees(self, tolerance: float = 1e-5) -> list[str]:
         """Audit the service log against Definition 2: every assigned
@@ -201,5 +218,45 @@ class SimulationReport:
             "max_passengers": self.occupancy.max_passengers,
             "mean_max_occupancy": round(self.occupancy.mean_max_per_vehicle, 3),
             "top20_mean_occupancy": round(self.occupancy.top20_mean, 3),
+            "batches": self.num_batches,
+            "mean_batch_size": round(self.batch_sizes.mean, 2),
+            "max_batch_size": int(self.batch_sizes.max) if self.num_batches else 0,
+            "solver_ms_mean": round(self.solver_seconds.mean * 1000.0, 4),
+            "mean_batch_rejected": round(self.batch_rejections.mean, 3),
             "wall_seconds": round(self.wall_seconds, 3),
         }
+
+    def text_summary(self) -> str:
+        """Human-readable report block: service/latency numbers plus the
+        batching section (batch sizes, solver wall time, rejections per
+        flush) when any batches were recorded. Immediate dispatch
+        (``batch_window_s=0``) counts each request as a singleton batch,
+        so the section then shows mean size 1.0 and zero solver time."""
+        summary = self.summary()
+        lines = ["--- simulation report ---"]
+        for key in (
+            "requests",
+            "assigned",
+            "rejected",
+            "service_rate",
+            "acrt_ms",
+            "mean_candidates",
+            "max_passengers",
+            "wall_seconds",
+        ):
+            lines.append(f"{key:24s} {summary[key]}")
+        if self.num_batches:
+            lines.append("--- batched dispatch ---")
+            lines.append(f"{'batches':24s} {self.num_batches}")
+            lines.append(
+                f"{'batch_size':24s} mean {self.batch_sizes.mean:.2f} "
+                f"max {int(self.batch_sizes.max)}"
+            )
+            lines.append(
+                f"{'solver_ms':24s} mean {self.solver_seconds.mean * 1000:.3f} "
+                f"max {self.solver_seconds.max * 1000:.3f}"
+            )
+            lines.append(
+                f"{'rejected_per_batch':24s} mean {self.batch_rejections.mean:.3f}"
+            )
+        return "\n".join(lines)

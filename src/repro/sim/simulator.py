@@ -1,9 +1,14 @@
 """Event-driven ridesharing simulation (Section VI's framework).
 
 The simulation replays a trip stream in request-time order. Vehicles
-cruise when idle and execute committed schedules otherwise; each new
-request is dispatched immediately against the candidate vehicles from
-the grid index; assigned vehicles re-route on the fly.
+cruise when idle and execute committed schedules otherwise; assigned
+vehicles re-route on the fly. Dispatch runs through the batched
+subsystem (:mod:`repro.dispatch`): with ``batch_window_s == 0`` each
+request is flushed the instant it arrives (the paper's immediate
+dispatch), otherwise requests accumulate in a
+:class:`~repro.dispatch.window.BatchWindow` and a periodic
+``BATCH_DISPATCH`` event flushes the whole batch through the configured
+assignment policy.
 
 Event causality: committed plans are versioned — when a vehicle is
 re-planned (wins a request), its in-flight stop-arrival event becomes
@@ -17,6 +22,7 @@ import time as _time
 import numpy as np
 
 from repro.core.matching import Dispatcher
+from repro.dispatch import BatchDispatcher, BatchWindow, make_policy
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fleet import build_fleet
@@ -62,6 +68,15 @@ class Simulation:
             staleness_seconds=config.report_interval,
             objective=config.objective,
         )
+        self.batch_dispatcher = BatchDispatcher(
+            self.dispatcher,
+            make_policy(config.dispatch_policy, config.assignment_rounds),
+        )
+        self.batch_window = (
+            BatchWindow(config.batch_window_s)
+            if config.batch_window_s > 0
+            else None
+        )
         self.report = SimulationReport()
 
     # ------------------------------------------------------------------
@@ -82,12 +97,22 @@ class Simulation:
                     )
                 )
 
+        if self.batch_window is not None and self.trips:
+            queue.push(
+                Event(
+                    self.start_time + self.config.batch_window_s,
+                    EventKind.BATCH_DISPATCH,
+                )
+            )
+
         while queue:
             event = queue.pop()
             if event.kind is EventKind.REQUEST_ARRIVAL:
                 self._handle_request(event.payload, event.time, queue)
             elif event.kind is EventKind.STOP_REACHED:
                 self._handle_stop(event.payload, event.time, queue)
+            elif event.kind is EventKind.BATCH_DISPATCH:
+                self._handle_batch_flush(event.time, queue)
             else:
                 self._handle_report(event.payload, event.time, queue)
 
@@ -110,15 +135,39 @@ class Simulation:
         )
         if request is None:
             return
-        result = self.dispatcher.submit(request, now)
-        self.report.record_assignment(result)
-        if result.assigned:
-            self.report.service_log[request.request_id] = {
-                "request": request,
-                "vehicle": result.winner.vehicle.vehicle_id,
-                "assigned_cost": result.cost,
-            }
-            agent = result.winner
+        if self.batch_window is None:
+            self._dispatch_batch([request], now, queue)
+        else:
+            self.batch_window.add(request)
+
+    def _handle_batch_flush(self, now: float, queue: EventQueue) -> None:
+        """Periodic ``BATCH_DISPATCH``: flush the window's accumulated
+        requests through the policy, then schedule the next flush (the
+        chain ends one window past the last request arrival)."""
+        requests = self.batch_window.flush()
+        if requests:
+            self._dispatch_batch(requests, now, queue)
+        next_time = now + self.config.batch_window_s
+        if next_time <= self.horizon + self.config.batch_window_s:
+            queue.push(Event(next_time, EventKind.BATCH_DISPATCH))
+
+    def _dispatch_batch(self, requests, now: float, queue: EventQueue) -> None:
+        """Assign one batch and fold the outcome into the report; each
+        winning vehicle gets exactly one fresh stop event (its final
+        post-batch plan), and one location report."""
+        batch = self.batch_dispatcher.dispatch(requests, now)
+        self.report.record_batch(batch)
+        winners: dict[int, object] = {}
+        for result in batch.results:
+            self.report.record_assignment(result)
+            if result.assigned:
+                self.report.service_log[result.request.request_id] = {
+                    "request": result.request,
+                    "vehicle": result.winner.vehicle.vehicle_id,
+                    "assigned_cost": result.cost,
+                }
+                winners[result.winner.vehicle.vehicle_id] = result.winner
+        for agent in winners.values():
             self._schedule_next_stop(agent, queue)
             if self.grid_index is not None:
                 self._report_location(agent, now)

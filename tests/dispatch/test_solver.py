@@ -1,0 +1,96 @@
+"""The pure-numpy Hungarian solver against brute-force optimal assignment."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.dispatch.solver import assignment_cost, solve_assignment
+
+
+def brute_force_best(costs: np.ndarray) -> tuple[int, float]:
+    """(max feasible cardinality, min total cost at that cardinality)."""
+    m, n = costs.shape
+    best_card, best_cost = 0, 0.0
+    for r in range(1, min(m, n) + 1):
+        for rows in itertools.combinations(range(m), r):
+            for cols in itertools.permutations(range(n), r):
+                if all(np.isfinite(costs[i, j]) for i, j in zip(rows, cols)):
+                    total = sum(costs[i, j] for i, j in zip(rows, cols))
+                    if r > best_card or (r == best_card and total < best_cost):
+                        best_card, best_cost = r, total
+    return best_card, best_cost
+
+
+@pytest.mark.parametrize("seed", range(20))
+@pytest.mark.parametrize("infeasible_fraction", [0.0, 0.3, 0.7])
+def test_matches_brute_force_on_random_matrices(seed, infeasible_fraction):
+    rng = np.random.default_rng(seed)
+    m, n = int(rng.integers(1, 6)), int(rng.integers(1, 6))
+    costs = rng.uniform(0.0, 100.0, size=(m, n))
+    costs[rng.random((m, n)) < infeasible_fraction] = np.inf
+    pairs = solve_assignment(costs)
+    card, cost = brute_force_best(costs)
+    assert len(pairs) == card
+    assert assignment_cost(costs, pairs) == pytest.approx(cost)
+    # One-to-one: no row or column used twice.
+    assert len({i for i, _ in pairs}) == len(pairs)
+    assert len({j for _, j in pairs}) == len(pairs)
+
+
+def test_square_exact():
+    costs = np.array([[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]])
+    pairs = solve_assignment(costs)
+    assert pairs == [(0, 1), (1, 0), (2, 2)]
+    assert assignment_cost(costs, pairs) == pytest.approx(5.0)
+
+
+def test_rectangular_more_rows_than_columns():
+    costs = np.array([[1.0], [2.0], [0.5]])
+    pairs = solve_assignment(costs)
+    assert pairs == [(2, 0)]
+
+
+def test_rectangular_more_columns_than_rows():
+    costs = np.array([[9.0, 1.0, 5.0]])
+    assert solve_assignment(costs) == [(0, 1)]
+
+
+def test_infeasible_cells_never_assigned():
+    costs = np.array([[np.inf, 3.0], [np.inf, 1.0]])
+    pairs = solve_assignment(costs)
+    # Only column 1 is usable: exactly one row can be served, the cheaper.
+    assert pairs == [(1, 1)]
+
+
+def test_maximizes_cardinality_before_cost():
+    # Serving both rows costs 100 + 100; serving only row 0 would cost 1.
+    # Cardinality must win.
+    costs = np.array([[1.0, 100.0], [np.inf, 100.0]])
+    pairs = solve_assignment(costs)
+    assert pairs == [(0, 0), (1, 1)]
+
+
+def test_all_infeasible():
+    assert solve_assignment(np.full((3, 2), np.inf)) == []
+
+
+def test_empty_dimensions():
+    assert solve_assignment(np.zeros((0, 4))) == []
+    assert solve_assignment(np.zeros((4, 0))) == []
+
+
+def test_nan_treated_as_infeasible():
+    costs = np.array([[np.nan, 2.0]])
+    assert solve_assignment(costs) == [(0, 1)]
+
+
+def test_non_2d_raises():
+    with pytest.raises(ValueError):
+        solve_assignment(np.zeros(3))
+
+
+def test_deterministic():
+    rng = np.random.default_rng(11)
+    costs = rng.uniform(0, 10, size=(6, 6))
+    assert solve_assignment(costs) == solve_assignment(costs.copy())

@@ -1,0 +1,43 @@
+"""BatchWindow accumulator semantics."""
+
+import pytest
+
+from repro.core.request import TripRequest
+from repro.dispatch.window import BatchWindow
+
+
+def _request(rid: int) -> TripRequest:
+    return TripRequest(rid, 0, 5, 100.0, 600.0, 0.2, 100.0)
+
+
+def test_accumulates_in_arrival_order():
+    window = BatchWindow(30.0)
+    for rid in (3, 1, 2):
+        window.add(_request(rid))
+    assert len(window) == 3
+    assert [r.request_id for r in window.flush()] == [3, 1, 2]
+
+
+def test_flush_drains():
+    window = BatchWindow(10.0)
+    window.add(_request(0))
+    assert window.flush()
+    assert len(window) == 0
+    assert window.flush() == []
+    assert window.num_flushes == 2
+
+
+def test_bool_reflects_pending():
+    window = BatchWindow(10.0)
+    assert not window
+    window.add(_request(0))
+    assert window
+
+
+def test_zero_window_allowed():
+    assert BatchWindow(0.0).window_s == 0.0
+
+
+def test_negative_window_rejected():
+    with pytest.raises(ValueError):
+        BatchWindow(-1.0)

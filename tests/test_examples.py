@@ -39,6 +39,15 @@ def test_custom_network():
     assert "all engines agree" in out
 
 
+def test_batched_dispatch_small():
+    out = run_example(
+        "batched_dispatch.py", "--vehicles", "6", "--hours", "0.3",
+    )
+    assert "service-guarantee audit" in out
+    assert "lap" in out and "iterative" in out
+    assert "batched dispatch" in out  # the report's batching section
+
+
 @pytest.mark.slow
 def test_airport_hotspot():
     out = run_example("airport_hotspot.py", timeout=600.0)

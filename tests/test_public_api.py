@@ -29,6 +29,7 @@ def test_subpackages_documented():
     import repro.algorithms
     import repro.bench
     import repro.core
+    import repro.dispatch
     import repro.roadnet
     import repro.sim
     import repro.spatial
@@ -38,6 +39,7 @@ def test_subpackages_documented():
         repro.roadnet,
         repro.spatial,
         repro.core,
+        repro.dispatch,
         repro.algorithms,
         repro.sim,
         repro.bench,
