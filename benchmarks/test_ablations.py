@@ -37,4 +37,9 @@ def test_engine_cache_table(benchmark, run_and_save):
     table = benchmark.pedantic(
         run_and_save, args=("micro_engine",), iterations=1, rounds=1
     )
-    assert len(table.rows) == 3
+    assert [row[0] for row in table.rows] == [
+        "matrix",
+        "dijkstra+lru",
+        "hub_label",
+        "ch",
+    ]

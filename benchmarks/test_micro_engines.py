@@ -6,11 +6,15 @@ path algorithm is called very frequently and can be the bottleneck if not
 implemented efficiently").
 """
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.bench import micro
 from repro.core.kinetic.tree import KineticTree
 from repro.core.request import TripRequest
+from repro.roadnet.contraction import CHEngine
 from repro.roadnet.engine import DijkstraEngine
 from repro.roadnet.generators import grid_city
 from repro.roadnet.hub_labeling import HubLabelEngine
@@ -63,6 +67,31 @@ def test_hub_label_distance(benchmark, city, queries):
             engine.distance(s, e)
 
     benchmark(run)
+
+
+def test_ch_distance(benchmark, city, queries):
+    engine = CHEngine(city)
+
+    def run():
+        for s, e in queries:
+            engine.distance(s, e)
+
+    benchmark(run)
+
+
+def test_batched_distance_plane(benchmark):
+    """Scalar vs batched ``distance_many`` per engine on fan-out
+    workloads; writes the ``BENCH_micro.json`` perf-regression artifact
+    at the repo root and gates the headline win: the Dijkstra engine must
+    answer batched fan-outs at >= 5x its scalar throughput."""
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    out_path = os.path.join(repo_root, "BENCH_micro.json")
+    result = benchmark.pedantic(
+        micro.run_micro, kwargs={"out_path": out_path}, iterations=1, rounds=1
+    )
+    assert os.path.exists(out_path)
+    assert set(result["engines"]) == set(micro.ENGINE_KINDS)
+    assert result["engines"]["dijkstra"]["speedup"] >= 5.0
 
 
 def test_grid_index_query(benchmark, city):

@@ -1,8 +1,8 @@
 """Experiment harness regenerating every table and figure of the paper.
 
 Each experiment id (``fig6a`` ... ``fig9c``, ``table1``, ``table2``,
-``occupancy``, ``micro_engine``, ``ablation_*``) maps to a function in
-:mod:`repro.bench.experiments` returning an
+``occupancy``, ``micro_engine``, ``micro_batched``, ``ablation_*``) maps
+to a function in :mod:`repro.bench.experiments` returning an
 :class:`~repro.bench.harness.ExperimentTable`. Problem sizes are scaled
 down from the paper's Shanghai deployment (see DESIGN.md) and multiply
 back up via the ``REPRO_SCALE`` environment variable.
@@ -11,6 +11,11 @@ Run everything from the command line::
 
     python -m repro.bench            # all experiments
     python -m repro.bench fig6b      # one experiment
+
+:mod:`repro.bench.micro` is the perf-regression harness for the distance
+layer: it times every engine's scalar vs batched (``distance_many``)
+query plane on fan-out workloads and writes ``BENCH_micro.json`` —
+runnable directly with ``python -m repro.bench.micro [--fast]``.
 """
 
 from repro.bench.harness import (

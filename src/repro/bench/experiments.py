@@ -425,6 +425,7 @@ def micro_engine() -> ExperimentTable:
     """Shortest-path engine throughput and cache effectiveness."""
     import numpy as np
 
+    from repro.roadnet.contraction import CHEngine
     from repro.roadnet.engine import DijkstraEngine
     from repro.roadnet.generators import grid_city
     from repro.roadnet.hub_labeling import HubLabelEngine
@@ -448,6 +449,7 @@ def micro_engine() -> ExperimentTable:
         ("matrix", MatrixEngine(city)),
         ("dijkstra+lru", DijkstraEngine(city)),
         ("hub_label", HubLabelEngine(city)),
+        ("ch", CHEngine(city)),
     ):
         t0 = _time.perf_counter()
         for s, e in queries:
@@ -468,6 +470,37 @@ def micro_engine() -> ExperimentTable:
         ["engine", "queries_per_sec", "distance_cache_hit_rate"],
         rows,
         notes="supports Section VI's caching discussion; 20x20 grid city",
+    )
+
+
+def micro_batched() -> ExperimentTable:
+    """Scalar vs batched distance plane per engine (perf-regression
+    harness). Also writes ``BENCH_micro.json`` to the working directory
+    so future PRs have a throughput trajectory to beat."""
+    from repro.bench.micro import run_micro
+
+    result = run_micro()
+    rows = [
+        [
+            kind,
+            f"{row['scalar_queries_per_sec']:,.0f}",
+            f"{row['batched_queries_per_sec']:,.0f}",
+            f"{row['speedup']:.1f}x",
+        ]
+        for kind, row in result["engines"].items()
+    ]
+    w = result["workload"]
+    return ExperimentTable(
+        "micro_batched",
+        "Scalar vs batched distance plane (queries/s)",
+        ["engine", "scalar_qps", "batched_qps", "speedup"],
+        rows,
+        notes=(
+            f"{w['num_sources']} fan-outs x {w['fan_out']} targets on a "
+            f"{w['grid_side']}x{w['grid_side']} grid city; "
+            "absolute numbers vary per machine — compare the speedup "
+            "column across PRs (BENCH_micro.json)"
+        ),
     )
 
 
@@ -622,6 +655,7 @@ ALL_EXPERIMENTS = {
     "fig9c": (fig9c, "ACRT vs capacity, tree variants"),
     "occupancy": (occupancy, "Unlimited-capacity occupancy statistics"),
     "micro_engine": (micro_engine, "Engine throughput / cache hit rates"),
+    "micro_batched": (micro_batched, "Scalar vs batched distance plane"),
     "ablation_objective": (ablation_objective, "total vs delta objective"),
     "ablation_invalidation": (ablation_invalidation, "eager vs lazy pruning"),
     "ablation_beam": (ablation_beam, "schedule-cap load shedding"),

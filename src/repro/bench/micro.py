@@ -1,0 +1,181 @@
+"""Scalar-vs-batched distance-plane microbenchmark.
+
+Times the two query planes of every shortest-path engine on the
+matcher's characteristic *fan-out* workload — many targets radiating
+from one decision point, exactly the access pattern of kinetic-tree
+insertion and batch cost-matrix quoting — and records the results as
+``BENCH_micro.json`` so future PRs have a throughput trajectory to beat.
+
+Scalar and batched timings are measured in the same run on freshly
+built engines (so neither plane inherits the other's warm caches), and
+the JSON records queries/s for both planes plus the speedup ratio.
+
+Run from the shell::
+
+    PYTHONPATH=src python -m repro.bench.micro            # full run
+    PYTHONPATH=src python -m repro.bench.micro --fast     # CI smoke
+    PYTHONPATH=src python -m repro.bench.micro --out path/to.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time as _time
+
+import numpy as np
+
+from repro.exceptions import DisconnectedError
+from repro.roadnet.engine import ENGINE_KINDS as _ALL_KINDS
+from repro.roadnet.engine import make_engine
+from repro.roadnet.generators import grid_city
+
+#: Engine kinds benchmarked: every concrete ``make_engine`` kind
+#: (``auto`` is an alias, not an engine).
+ENGINE_KINDS = tuple(kind for kind in _ALL_KINDS if kind != "auto")
+
+#: Default output file name, written to the current working directory
+#: (the repo root under both the CI smoke step and the benchmark suite).
+DEFAULT_OUT = "BENCH_micro.json"
+
+
+def fan_out_workload(
+    num_vertices: int,
+    num_sources: int,
+    fan_out: int,
+    seed: int = 3,
+) -> list[tuple[int, np.ndarray]]:
+    """Decision-point fan-outs: ``num_sources`` sources, each with
+    ``fan_out`` random targets (duplicates allowed, like repeated stop
+    vertices in real candidate sets)."""
+    rng = np.random.default_rng(seed)
+    return [
+        (
+            int(rng.integers(0, num_vertices)),
+            rng.integers(0, num_vertices, size=fan_out),
+        )
+        for _ in range(num_sources)
+    ]
+
+
+def _time_scalar(engine, workload) -> float:
+    started = _time.perf_counter()
+    for source, targets in workload:
+        for target in targets:
+            try:
+                engine.distance(source, int(target))
+            except DisconnectedError:
+                pass
+    return _time.perf_counter() - started
+
+
+def _time_batched(engine, workload) -> float:
+    started = _time.perf_counter()
+    for source, targets in workload:
+        engine.distance_many(source, targets)
+    return _time.perf_counter() - started
+
+
+def run_micro(
+    out_path: str | None = DEFAULT_OUT,
+    grid_side: int = 20,
+    num_sources: int = 40,
+    fan_out: int = 48,
+    seed: int = 3,
+    engine_kinds=ENGINE_KINDS,
+) -> dict:
+    """Benchmark every engine's scalar vs batched plane; return (and
+    optionally write) the result document."""
+    city = grid_city(grid_side, grid_side, seed=seed)
+    workload = fan_out_workload(
+        city.num_vertices, num_sources, fan_out, seed=seed
+    )
+    total_queries = num_sources * fan_out
+
+    engines = {}
+    for kind in engine_kinds:
+        # Fresh engines per plane: neither measurement may inherit the
+        # other's warm caches.
+        scalar_seconds = _time_scalar(make_engine(city, kind), workload)
+        batched_seconds = _time_batched(make_engine(city, kind), workload)
+        scalar_qps = total_queries / scalar_seconds if scalar_seconds else 0.0
+        batched_qps = total_queries / batched_seconds if batched_seconds else 0.0
+        engines[kind] = {
+            "scalar_seconds": scalar_seconds,
+            "batched_seconds": batched_seconds,
+            "scalar_queries_per_sec": scalar_qps,
+            "batched_queries_per_sec": batched_qps,
+            "speedup": (batched_qps / scalar_qps) if scalar_qps else 0.0,
+        }
+
+    result = {
+        "benchmark": "distance_plane_fan_out",
+        "workload": {
+            "grid_side": grid_side,
+            "num_vertices": city.num_vertices,
+            "num_sources": num_sources,
+            "fan_out": fan_out,
+            "total_queries": total_queries,
+            "seed": seed,
+        },
+        "engines": engines,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+def render(result: dict) -> str:
+    """Fixed-width table of one :func:`run_micro` document."""
+    lines = [
+        "== micro_batched: scalar vs batched distance plane (queries/s) ==",
+        f"{'engine':10s} | {'scalar_qps':>12s} | {'batched_qps':>12s} | {'speedup':>7s}",
+        "-" * 52,
+    ]
+    for kind, row in result["engines"].items():
+        lines.append(
+            f"{kind:10s} | {row['scalar_queries_per_sec']:>12,.0f} | "
+            f"{row['batched_queries_per_sec']:>12,.0f} | "
+            f"{row['speedup']:>6.1f}x"
+        )
+    w = result["workload"]
+    lines.append(
+        f"note: {w['num_sources']} fan-outs x {w['fan_out']} targets on a "
+        f"{w['grid_side']}x{w['grid_side']} grid city"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.micro",
+        description="Time scalar vs batched distance queries per engine.",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default ./{DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI smoke mode: smaller city and fewer fan-outs",
+    )
+    args = parser.parse_args(argv)
+    if args.fast:
+        result = run_micro(
+            out_path=args.out, grid_side=12, num_sources=12, fan_out=24
+        )
+    else:
+        result = run_micro(out_path=args.out)
+    print(render(result))
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,11 @@ DEFAULT_DISTANCE_CACHE_SIZE = 1_000_000
 #: paths").
 DEFAULT_PATH_CACHE_SIZE = 10_000
 
+#: Size of the source-keyed partial-row cache backing batched fan-out
+#: queries (``distance_many``). Rows are whole settled regions, so far
+#: fewer entries are needed than for point-to-point pairs.
+DEFAULT_ROW_CACHE_SIZE = 4_096
+
 #: Interval (seconds) at which vehicles report their location to the grid
 #: index ("around 17,000 taxis update their locations every 20 to 60
 #: seconds").

@@ -27,12 +27,14 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.constants import SPEED_MPS
+from repro.core.kinetic.tree import EPSILON as TREE_EPSILON
 from repro.core.kinetic.tree import KineticTree, KineticTrial
 from repro.core.problem import ScheduleResult, SchedulingProblem
 from repro.core.request import TripRequest
 from repro.core.stop import Stop
 from repro.core.vehicle import Vehicle
 from repro.exceptions import DisconnectedError, SimulationError
+from repro.roadnet.engine import fan_out_distances
 
 
 @dataclass(frozen=True, slots=True)
@@ -198,12 +200,31 @@ class KineticAgent(VehicleAgent):
     def quote_batch(
         self, requests: Sequence[TripRequest], now: float
     ) -> list[Quote | None]:
-        """Trial-insert every request from one shared decision point: the
-        vehicle's position is resolved once, and all trials expand the
-        same tree from the same root, so shared path prefixes hit the
-        engine's caches instead of being recomputed per request."""
+        """Trial-insert every request from one shared decision point.
+
+        The vehicle's position is resolved once, and the whole batch's
+        pickup fan-out goes through one cutoff-aware
+        :func:`~repro.roadnet.engine.fan_out_distances` call, which
+        (a) pre-warms the engine's row/pair caches (where it has any)
+        for the trial insertions that follow, and (b) screens out
+        requests whose pickup is provably unreachable in time: any
+        schedule visits the pickup no earlier than
+        ``t + d(vertex, origin)`` (triangle inequality), so
+        ``t + d > deadline + EPSILON`` means every placement would fail
+        the exact same :class:`KineticTree` check and ``try_insert``
+        would return ``None`` anyway.
+        """
         vertex, t = self.vehicle.decision_point(now, self.engine.graph)
-        return [self._quote_at(request, vertex, t) for request in requests]
+        reach = fan_out_distances(
+            self.engine, vertex, [request.origin for request in requests]
+        )
+        quotes: list[Quote | None] = []
+        for request, leg in zip(requests, reach):
+            if t + float(leg) > request.pickup_deadline + TREE_EPSILON:
+                quotes.append(None)
+            else:
+                quotes.append(self._quote_at(request, vertex, t))
+        return quotes
 
     def commit(self, quote: Quote) -> None:
         trial: KineticTrial = quote.payload
@@ -286,8 +307,16 @@ class RescheduleAgent(VehicleAgent):
         self, requests: Sequence[TripRequest], now: float
     ) -> list[Quote | None]:
         """Re-solve once per request from one shared decision point; the
-        (onboard, pending) base problem is identical across the batch."""
+        (onboard, pending) base problem is identical across the batch.
+        On engines advertising ``batch_prefetch`` (Dijkstra's row/pair
+        caches), one ``distance_many`` fan-out to every pickup pre-warms
+        them for the per-request solves; cacheless engines skip the
+        prefetch — its result would be discarded work."""
         vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        if getattr(self.engine, "batch_prefetch", False):
+            self.engine.distance_many(
+                vertex, [request.origin for request in requests]
+            )
         return [self._quote_at(request, vertex, t) for request in requests]
 
     def commit(self, quote: Quote) -> None:

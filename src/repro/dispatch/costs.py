@@ -8,10 +8,16 @@ assignment policies solve over.
 Quoting is organized *per vehicle*, not per request: one
 :meth:`~repro.core.matching.VehicleAgent.quote_batch` call per candidate
 vehicle quotes every request that reached it, so the vehicle's decision
-point is computed once and the engine's shortest-path caches are hit with
-maximal locality (all of a vehicle's quotes fan out from the same decision
-vertex). A vehicle quoting ``k`` requests therefore does the per-vehicle
-setup once instead of ``k`` times.
+point is computed once and the whole candidate set fans out through the
+engine's batched ``distance_many`` plane (one bounded sweep per vehicle
+on the Dijkstra engine instead of ``k`` point-to-point searches). A
+vehicle quoting ``k`` requests therefore does the per-vehicle setup once
+instead of ``k`` times.
+
+Solver keys are snapped to the same ``1e-9`` tie tolerance
+:meth:`~repro.core.matching.Dispatcher.submit` uses, so batched and
+immediate dispatch agree on near-ties that land in the same snap bucket
+(see :data:`KEY_EPSILON`).
 """
 
 from __future__ import annotations
@@ -23,6 +29,22 @@ import numpy as np
 
 from repro.core.matching import Dispatcher, Quote, VehicleAgent
 from repro.core.request import TripRequest
+
+#: Immediate dispatch (:meth:`Dispatcher.submit`) treats assignment keys
+#: within ``1e-9`` as equal and breaks the tie toward the lowest vehicle
+#: id. Solver keys are therefore snapped to this grid before the linear
+#: assignment runs: equality after snapping resolves to the lowest
+#: column index (columns are ordered by vehicle id), reproducing the
+#: immediate tie-break instead of letting sub-nanosecond float noise pick
+#: the winner. Snapping is monotone, so a gap wider than the grid is
+#: never inverted; near-ties straddling a grid boundary can still
+#: compare unequal — the divergence is reduced, not eliminated.
+KEY_EPSILON = 1e-9
+
+
+def snap_key(key: float) -> float:
+    """Quantize an assignment key to the :data:`KEY_EPSILON` grid."""
+    return round(key / KEY_EPSILON) * KEY_EPSILON
 
 
 @dataclass(slots=True)
@@ -61,10 +83,12 @@ def build_cost_matrix(
 
     Candidate filtering reuses :meth:`Dispatcher.candidates` per request;
     the matrix columns are the union of all candidate sets, ordered by
-    vehicle id so exact-cost ties resolve to the lowest vehicle id, like
-    immediate dispatch. (Near-ties are the one divergence: the solver
-    compares floats exactly, while :meth:`Dispatcher.submit` treats costs
-    within 1e-9 as equal.)
+    vehicle id so cost ties resolve to the lowest vehicle id, like
+    immediate dispatch. Keys are snapped to the :data:`KEY_EPSILON` grid
+    so costs within :meth:`Dispatcher.submit`'s 1e-9 tie tolerance
+    almost always compare equal to the solver too (``quotes`` keep the
+    exact costs — snapping only affects who wins, never the reported
+    cost).
     """
     candidate_sets = [dispatcher.candidates(r) for r in requests]
     agents_by_id: dict[int, VehicleAgent] = {}
@@ -99,7 +123,7 @@ def build_cost_matrix(
             if quote is None:
                 continue
             quotes[row][col] = quote
-            keys[row, col] = quote.cost - plan_cost
+            keys[row, col] = snap_key(quote.cost - plan_cost)
 
     return CostMatrix(
         requests=list(requests),

@@ -6,11 +6,15 @@ provides:
 
 * :class:`~repro.roadnet.graph.RoadNetwork` — a compact CSR adjacency
   representation of an undirected weighted road graph;
-* three interchangeable shortest-path engines
+* five interchangeable shortest-path engines
   (:class:`~repro.roadnet.engine.DijkstraEngine`,
   :class:`~repro.roadnet.matrix.MatrixEngine`,
-  :class:`~repro.roadnet.hub_labeling.HubLabelEngine`) behind one protocol;
-* the paper's dual LRU caches for distances and paths
+  :class:`~repro.roadnet.hub_labeling.HubLabelEngine`,
+  :class:`~repro.roadnet.astar.AStarEngine`,
+  :class:`~repro.roadnet.contraction.CHEngine`) behind one protocol with
+  both a scalar ``distance`` and a batched ``distance_many`` query plane;
+* the paper's dual LRU caches for distances and paths plus the
+  source-keyed row cache backing batched fan-outs
   (:mod:`repro.roadnet.cache`);
 * synthetic city generators standing in for the Shanghai road network
   (:mod:`repro.roadnet.generators`).
@@ -23,17 +27,26 @@ from repro.roadnet.astar import (
     astar_distance,
     astar_path,
 )
-from repro.roadnet.cache import LRUCache, ShortestPathCache, combined_key
+from repro.roadnet.cache import (
+    LRUCache,
+    ShortestPathCache,
+    SourceRowCache,
+    combined_key,
+)
 from repro.roadnet.contraction import CHEngine, ContractionHierarchy
 from repro.roadnet.dijkstra import (
     dijkstra_distance,
     dijkstra_path,
+    multi_target_distances,
     single_source_distances,
     vertices_within,
 )
 from repro.roadnet.engine import (
+    ENGINE_KINDS,
     DijkstraEngine,
     ShortestPathEngine,
+    distance_many_fallback,
+    fan_out_distances,
     make_engine,
 )
 from repro.roadnet.generators import grid_city, random_geometric_city, ring_radial_city
@@ -52,9 +65,11 @@ __all__ = [
     "ContractionHierarchy",
     "LRUCache",
     "ShortestPathCache",
+    "SourceRowCache",
     "combined_key",
     "dijkstra_distance",
     "dijkstra_path",
+    "multi_target_distances",
     "single_source_distances",
     "vertices_within",
     "ShortestPathEngine",
@@ -62,6 +77,9 @@ __all__ = [
     "MatrixEngine",
     "HubLabels",
     "HubLabelEngine",
+    "ENGINE_KINDS",
+    "distance_many_fallback",
+    "fan_out_distances",
     "make_engine",
     "grid_city",
     "ring_radial_city",

@@ -178,6 +178,10 @@ class AStarEngine:
     """
 
     kind = "astar"
+    #: No batched fast path exists (``distance_many`` is the scalar
+    #: fallback loop), so consumers should stay on their own scalar
+    #: loops at any fan-out width.
+    batch_cutoff = float("inf")
 
     def __init__(self, graph: RoadNetwork, heuristic: str = "landmark", **kwargs):
         self.graph = graph
@@ -190,6 +194,14 @@ class AStarEngine:
 
     def distance(self, source: int, target: int) -> float:
         return astar_distance(self.graph, source, target, self.heuristic)
+
+    def distance_many(self, source: int, targets) -> np.ndarray:
+        """Batched queries via the shared scalar fallback loop: A* is
+        inherently goal-directed (one heuristic binding per target), so
+        there is no multi-target sweep to amortize."""
+        from repro.roadnet.engine import distance_many_fallback
+
+        return distance_many_fallback(self, source, targets)
 
     def path(self, source: int, target: int) -> list[int]:
         if source == target:

@@ -85,6 +85,97 @@ class LRUCache:
         )
 
 
+class SourceRowCache:
+    """LRU of partial single-source distance rows, keyed by source vertex.
+
+    The batched fan-out path (``DijkstraEngine.distance_many``) settles a
+    region around one source per call; this cache keeps those regions so
+    consecutive batches from the same decision point — the kinetic tree's
+    exact access pattern — reuse the swept region instead of re-running
+    the search.
+
+    Each entry is ``(settled, exhausted)``: ``settled`` maps vertex ->
+    exact distance for the region swept so far, ``exhausted`` records
+    that the source's whole component was settled (so a vertex missing
+    from ``settled`` is provably unreachable). Re-inserting a source
+    *merges* the new region into the old one — settled distances are
+    exact regardless of where a bounded search stopped, so rows only ever
+    grow more complete.
+
+    Eviction is bounded on two axes: ``capacity`` rows *and*
+    ``max_cells`` total settled entries across all rows — a row can be
+    O(|V|) on large graphs (one unreachable target sweeps the whole
+    component), so a row-count cap alone would admit O(capacity * |V|)
+    memory. The most recently merged row is always retained, even when
+    it alone exceeds the cell budget (it is the active working set).
+    """
+
+    __slots__ = ("capacity", "max_cells", "_rows", "_cells", "hits", "misses")
+
+    def __init__(self, capacity: int, max_cells: int = 2_000_000):
+        if capacity < 1:
+            raise ValueError("row cache capacity must be >= 1")
+        if max_cells < 1:
+            raise ValueError("row cache max_cells must be >= 1")
+        self.capacity = capacity
+        self.max_cells = max_cells
+        self._rows: dict[int, tuple[dict[int, float], bool]] = {}
+        self._cells = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, source: int) -> tuple[dict[int, float], bool] | None:
+        """The cached ``(settled, exhausted)`` row for ``source``,
+        refreshing its recency on a hit."""
+        try:
+            entry = self._rows.pop(source)
+        except KeyError:
+            self.misses += 1
+            return None
+        self._rows[source] = entry
+        self.hits += 1
+        return entry
+
+    def merge(
+        self, source: int, settled: dict[int, float], exhausted: bool
+    ) -> tuple[dict[int, float], bool]:
+        """Fold a freshly swept region into the cached row (grow-only),
+        then evict least-recently-used rows past either budget."""
+        prior = self._rows.pop(source, None)
+        if prior is not None:
+            merged, was_exhausted = prior
+            self._cells -= len(merged)
+            merged.update(settled)
+            entry = (merged, exhausted or was_exhausted)
+        else:
+            entry = (dict(settled), exhausted)
+        self._cells += len(entry[0])
+        self._rows[source] = entry
+        while (
+            len(self._rows) > self.capacity or self._cells > self.max_cells
+        ) and len(self._rows) > 1:
+            oldest = next(iter(self._rows))
+            evicted, _ = self._rows.pop(oldest)
+            self._cells -= len(evicted)
+        return entry
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._cells = 0
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "row_hits": self.hits,
+            "row_misses": self.misses,
+            "row_hit_rate": self.hits / total if total else 0.0,
+            "row_entries": len(self._rows),
+            "row_cells": self._cells,
+        }
+
+
 class ShortestPathCache:
     """The paper's dual distance/path cache facade.
 

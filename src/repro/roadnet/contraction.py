@@ -25,6 +25,8 @@ from __future__ import annotations
 import heapq
 from math import inf
 
+import numpy as np
+
 from repro.exceptions import DisconnectedError
 from repro.roadnet.graph import RoadNetwork
 
@@ -125,6 +127,55 @@ class ContractionHierarchy:
         return False
 
     # ------------------------------------------------------------------
+    def upward_distances(self, vertex: int) -> dict[int, float]:
+        """Full upward Dijkstra from ``vertex`` (its CH search space).
+
+        The upward search space of a vertex is tiny relative to the
+        graph, so sweeping it to exhaustion once and reusing it across a
+        whole batch of targets is the CH batching lever: distances to
+        ``k`` targets cost one forward sweep plus ``k`` backward sweeps
+        instead of ``k`` bidirectional searches.
+        """
+        dist: dict[int, float] = {vertex: 0.0}
+        heap: list[tuple[float, int]] = [(0.0, vertex)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, inf):
+                continue
+            for v, w in self._up[u]:
+                nd = d + w
+                if nd < dist.get(v, inf):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def query_many(self, source: int, targets) -> np.ndarray:
+        """Batched fan-out: one shared forward upward sweep, one backward
+        upward sweep per target, meeting-point minimum per target.
+        ``inf`` marks unreachable targets (no exception)."""
+        out = np.full(len(targets), inf, dtype=np.float64)
+        if not len(targets):
+            return out
+        forward = self.upward_distances(source)
+        backward_cache: dict[int, float] = {}
+        for i, raw in enumerate(targets):
+            target = int(raw)
+            if target == source:
+                out[i] = 0.0
+                continue
+            cached = backward_cache.get(target)
+            if cached is not None:
+                out[i] = cached
+                continue
+            best = inf
+            for u, db in self.upward_distances(target).items():
+                df = forward.get(u)
+                if df is not None and df + db < best:
+                    best = df + db
+            backward_cache[target] = best
+            out[i] = best
+        return out
+
     def query(self, source: int, target: int) -> float:
         """Exact shortest-path distance via bidirectional upward search."""
         if source == target:
@@ -164,6 +215,9 @@ class CHEngine:
     hub-label engine)."""
 
     kind = "ch"
+    #: A single query's early-terminating bidirectional search beats an
+    #: exhaustive forward sweep; sharing the sweep pays from 2 targets on.
+    batch_cutoff = 1
 
     def __init__(self, graph: RoadNetwork, witness_budget: int = _WITNESS_BUDGET):
         self.graph = graph
@@ -171,6 +225,10 @@ class CHEngine:
 
     def distance(self, source: int, target: int) -> float:
         return self.hierarchy.query(source, target)
+
+    def distance_many(self, source: int, targets) -> np.ndarray:
+        """Batched fan-out sharing one forward upward sweep per call."""
+        return self.hierarchy.query_many(source, targets)
 
     def path(self, source: int, target: int) -> list[int]:
         from repro.roadnet.dijkstra import dijkstra_path

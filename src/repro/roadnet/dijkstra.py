@@ -105,6 +105,51 @@ def single_source_array(graph: RoadNetwork, source: int) -> np.ndarray:
     return out
 
 
+def multi_target_distances(
+    graph: RoadNetwork, source: int, targets: set[int]
+) -> tuple[dict[int, float], bool]:
+    """One bounded single-source Dijkstra answering many targets.
+
+    Runs the same relaxation loop as :func:`_search` (so settled values
+    are bit-identical to point-to-point queries) but stops as soon as
+    *every* requested target has been settled, instead of at one target.
+    This is the batched fan-out primitive behind
+    ``DijkstraEngine.distance_many``: a batch of ``k`` targets costs one
+    search bounded by the farthest target, not ``k`` searches.
+
+    Returns ``(settled, exhausted)`` — ``settled`` maps every settled
+    vertex (a superset of the reachable targets) to its exact distance;
+    ``exhausted`` is True when the whole component was swept, in which
+    case any vertex absent from ``settled`` is unreachable.
+    """
+    if not targets:
+        return {}, False
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    settled: dict[int, float] = {}
+    best: dict[int, float] = {source: 0.0}
+    heap: list[tuple[float, int]] = [(0.0, source)]
+    outstanding = len(targets)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled[u] = d
+        if u in targets:
+            outstanding -= 1
+            if outstanding <= 0:
+                return settled, False
+        lo, hi = indptr[u], indptr[u + 1]
+        for pos in range(lo, hi):
+            v = int(indices[pos])
+            if v in settled:
+                continue
+            nd = d + weights[pos]
+            if nd < best.get(v, inf):
+                best[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return settled, True
+
+
 def vertices_within(
     graph: RoadNetwork, source: int, radius: float
 ) -> dict[int, float]:

@@ -4,20 +4,33 @@ Every matcher, tree, and simulator component takes a
 :class:`ShortestPathEngine` — the single seam between the scheduling
 algorithms and the road network, exactly mirroring the paper where all
 algorithms consume ``d(u, v)`` and shortest paths.
+
+The protocol has two query planes: the scalar ``distance(u, v)`` the
+paper describes, and the batched ``distance_many(u, targets)`` fan-out
+plane the matcher hot paths (kinetic-tree insertion, batch cost-matrix
+quoting) use to amortize shortest-path work across a whole candidate set
+radiating from one decision point. Every engine implements both with
+identical per-element semantics.
 """
 
 from __future__ import annotations
 
 from math import inf
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.constants import DEFAULT_DISTANCE_CACHE_SIZE, DEFAULT_PATH_CACHE_SIZE
-from repro.roadnet.cache import ShortestPathCache
+from repro.constants import (
+    DEFAULT_DISTANCE_CACHE_SIZE,
+    DEFAULT_PATH_CACHE_SIZE,
+    DEFAULT_ROW_CACHE_SIZE,
+)
+from repro.exceptions import DisconnectedError
+from repro.roadnet.cache import ShortestPathCache, SourceRowCache
 from repro.roadnet.dijkstra import (
     dijkstra_distance,
     dijkstra_path,
+    multi_target_distances,
     single_source_array,
     vertices_within,
 )
@@ -34,6 +47,14 @@ class ShortestPathEngine(Protocol):
         """Exact shortest-path cost ``d(source, target)`` in seconds."""
         ...
 
+    def distance_many(self, source: int, targets: Sequence[int]) -> np.ndarray:
+        """Exact ``d(source, t)`` for every ``t`` in ``targets``, as a
+        float64 array aligned with ``targets``; ``inf`` marks unreachable
+        targets (no exception). This is the batched fan-out query the
+        matcher hot paths use — engines amortize shortest-path work
+        across the whole target set."""
+        ...
+
     def path(self, source: int, target: int) -> list[int]:
         """A shortest path as a vertex list ``[source, ..., target]``."""
         ...
@@ -47,6 +68,48 @@ class ShortestPathEngine(Protocol):
         ...
 
 
+def distance_many_fallback(
+    engine: "ShortestPathEngine", source: int, targets: Sequence[int]
+) -> np.ndarray:
+    """Shared scalar-loop implementation of ``distance_many``.
+
+    Engines without a batched fast path (A*) delegate here so the whole
+    engine family still satisfies the protocol with identical semantics:
+    element ``i`` equals ``engine.distance(source, targets[i])``, with
+    ``inf`` (not an exception) for unreachable targets.
+    """
+    out = np.empty(len(targets), dtype=np.float64)
+    for i, target in enumerate(targets):
+        try:
+            out[i] = engine.distance(source, int(target))
+        except DisconnectedError:
+            out[i] = inf
+    return out
+
+
+def fan_out_distances(engine, source: int, targets):
+    """Fan-out distances respecting the engine's ``batch_cutoff``.
+
+    Consumers of the batched plane (kinetic tree, batch quoting) call
+    this instead of ``distance_many`` directly: fan-outs at or below the
+    engine's advertised ``batch_cutoff`` run as a plain scalar loop —
+    where per-call batching overhead outweighs the amortization win
+    (e.g. the matrix engine's O(1) lookups) — and wider ones go through
+    the engine's batched fast path. Both produce identical values
+    (``inf`` = unreachable); the cutoff is purely a performance dial.
+    """
+    if len(targets) <= getattr(engine, "batch_cutoff", 0):
+        distance = engine.distance
+        out = []
+        for target in targets:
+            try:
+                out.append(distance(source, target))
+            except DisconnectedError:
+                out.append(inf)
+        return out
+    return engine.distance_many(source, targets)
+
+
 class DijkstraEngine:
     """On-demand Dijkstra behind the paper's dual LRU caches.
 
@@ -57,12 +120,21 @@ class DijkstraEngine:
     """
 
     kind = "dijkstra"
+    #: Always batch: even single-target calls benefit from the row cache
+    #: and the bounded multi-target sweep.
+    batch_cutoff = 0
+    #: Protocol-level hint (paired with ``batch_cutoff``): a
+    #: ``distance_many`` call is worth issuing purely to warm caches for
+    #: later scalar queries. Engines without cross-plane caching leave
+    #: this False so consumers skip discarded-result prefetches.
+    batch_prefetch = True
 
     def __init__(
         self,
         graph: RoadNetwork,
         distance_cache_size: int = DEFAULT_DISTANCE_CACHE_SIZE,
         path_cache_size: int = DEFAULT_PATH_CACHE_SIZE,
+        row_cache_size: int = DEFAULT_ROW_CACHE_SIZE,
     ):
         self.graph = graph
         self.cache = ShortestPathCache(
@@ -70,6 +142,9 @@ class DijkstraEngine:
             distance_capacity=distance_cache_size,
             path_capacity=path_cache_size,
         )
+        #: Source-keyed partial rows feeding ``distance_many`` (batched
+        #: fan-out); grows with every bounded multi-target sweep.
+        self.row_cache = SourceRowCache(row_cache_size)
 
     def distance(self, source: int, target: int) -> float:
         """Cached exact distance."""
@@ -81,6 +156,53 @@ class DijkstraEngine:
         value = dijkstra_distance(self.graph, source, target)
         self.cache.put_distance(source, target, value)
         return value
+
+    def distance_many(self, source: int, targets) -> np.ndarray:
+        """Batched fan-out: one bounded single-source Dijkstra that stops
+        once all targets are settled, against the source-keyed row cache.
+
+        Values are bit-identical to per-pair :meth:`distance` calls (the
+        same relaxation loop settles them); reachable results are also
+        folded into the pair cache so scalar and batched query streams
+        share locality.
+        """
+        source = int(source)
+        out = np.empty(len(targets), dtype=np.float64)
+        row = self.row_cache.get(source)
+        settled, exhausted = row if row is not None else ({}, False)
+        missing: set[int] = set()
+        for i, raw in enumerate(targets):
+            target = int(raw)
+            if target == source:
+                out[i] = 0.0
+                continue
+            hit = settled.get(target)
+            if hit is None and not exhausted:
+                hit = self.cache.get_distance(source, target)
+            if hit is not None:
+                out[i] = hit
+            elif exhausted:
+                out[i] = inf
+            else:
+                out[i] = np.nan  # placeholder: resolved by the sweep below
+                missing.add(target)
+        if missing:
+            swept, swept_all = multi_target_distances(self.graph, source, missing)
+            settled, exhausted = self.row_cache.merge(source, swept, swept_all)
+            for i, raw in enumerate(targets):
+                target = int(raw)
+                if target in missing:
+                    value = settled.get(target)
+                    if value is None:
+                        out[i] = inf
+                    else:
+                        out[i] = value
+                        # Reachable swept cells feed the pair cache so the
+                        # scalar stream shares the batch's locality (inf
+                        # never does: the scalar path signals
+                        # unreachability by exception, not by value).
+                        self.cache.put_distance(source, target, value)
+        return out
 
     def path(self, source: int, target: int) -> list[int]:
         """Cached shortest path (cached one direction; reversed on demand)."""
@@ -108,8 +230,8 @@ class DijkstraEngine:
         return vertices_within(self.graph, source, radius)
 
     def stats(self) -> dict[str, float]:
-        """Cache statistics passthrough."""
-        return self.cache.stats()
+        """Cache statistics passthrough (pair caches + batched row cache)."""
+        return {**self.cache.stats(), **self.row_cache.stats()}
 
 
 def _path_cost(graph: RoadNetwork, path: list[int]) -> float:
@@ -120,13 +242,19 @@ def _path_cost(graph: RoadNetwork, path: list[int]) -> float:
     return total
 
 
+#: Every ``kind`` accepted by :func:`make_engine` (also what
+#: ``SimulationConfig.engine_kind`` and the sim CLI's ``--engine`` take).
+ENGINE_KINDS = ("auto", "matrix", "dijkstra", "hub_label", "astar", "ch")
+
+
 def make_engine(graph: RoadNetwork, kind: str = "auto", **kwargs) -> ShortestPathEngine:
     """Build a shortest-path engine.
 
-    ``kind``:
+    ``kind`` (see :data:`ENGINE_KINDS`):
       * ``"auto"`` — matrix engine for graphs small enough to precompute
         all pairs (the benchmark configuration), Dijkstra otherwise;
-      * ``"matrix"`` | ``"dijkstra"`` | ``"hub_label"`` — explicit choice.
+      * ``"matrix"`` | ``"dijkstra"`` | ``"hub_label"`` | ``"astar"`` |
+        ``"ch"`` — explicit choice.
     """
     from repro.roadnet.astar import AStarEngine
     from repro.roadnet.hub_labeling import HubLabelEngine

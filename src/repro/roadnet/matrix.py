@@ -29,6 +29,9 @@ class MatrixEngine:
     """
 
     kind = "matrix"
+    #: Scalar lookups are O(1) array reads; batching only pays for its
+    #: per-call numpy overhead on wider fan-outs.
+    batch_cutoff = 8
 
     def __init__(self, graph: RoadNetwork):
         if graph.num_vertices > _MAX_MATRIX_VERTICES:
@@ -57,6 +60,15 @@ class MatrixEngine:
         if not np.isfinite(d):
             raise DisconnectedError(source, target)
         return float(d)
+
+    def distance_many(self, source: int, targets) -> np.ndarray:
+        """Batched fan-out via fancy indexing — one gather from the APSP
+        row, no per-target Python work. ``inf`` cells mark unreachable
+        targets (the batched plane never raises)."""
+        if len(targets) == 0:
+            return np.empty(0, dtype=np.float64)
+        idx = np.asarray(targets, dtype=np.int64)
+        return self._dist[source, idx].astype(np.float64, copy=False)
 
     def path(self, source: int, target: int) -> list[int]:
         """Shortest path ``[source, ..., target]`` from predecessors."""

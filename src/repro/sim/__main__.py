@@ -6,6 +6,7 @@ Run a full ridesharing simulation on a generated city from the shell::
     python -m repro.sim --algorithm mip --trips 40 --constraints 5:10
     python -m repro.sim --capacity unlimited --hotspot-theta 40
     python -m repro.sim --dispatch-policy lap --batch-window 15
+    python -m repro.sim --engine hub_label --vehicles 40
 
 Prints the Section VI metrics (ACRT, ART buckets, occupancy, service
 rate) and the service-guarantee audit.
@@ -19,7 +20,7 @@ import sys
 from repro.algorithms.base import ALGORITHM_REGISTRY
 from repro.core.constraints import ConstraintConfig
 from repro.dispatch.policies import POLICY_REGISTRY
-from repro.roadnet.engine import make_engine
+from repro.roadnet.engine import ENGINE_KINDS, make_engine
 from repro.roadnet.generators import grid_city
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import simulate
@@ -68,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=ConstraintConfig.from_minutes(10, 20),
         help="wait:detour, e.g. 10:20 for 10 min / 20%%",
     )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=ENGINE_KINDS,
+        help="shortest-path engine backing the run (auto = matrix for "
+        "small cities, dijkstra otherwise)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--min-trip-meters", type=float, default=1000.0,
@@ -93,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     city = grid_city(args.grid, args.grid, seed=args.seed)
-    engine = make_engine(city)
+    engine = make_engine(city, args.engine)
     trips = ShanghaiLikeWorkload(
         city, seed=args.seed, min_trip_meters=args.min_trip_meters
     ).generate(num_trips=args.trips, duration_seconds=args.hours * 3600.0)
@@ -105,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
         algorithm=args.algorithm,
         tree_mode=args.tree_mode,
         hotspot_theta=args.hotspot_theta,
+        engine_kind=args.engine,
         dispatch_policy=args.dispatch_policy,
         batch_window_s=args.batch_window,
         assignment_rounds=args.assignment_rounds,
@@ -112,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(
         f"city {city.num_vertices}v/{city.num_edges}e | "
+        f"engine {getattr(engine, 'kind', args.engine)} | "
         f"{args.vehicles} vehicles ({args.algorithm}) | "
         f"{len(trips)} trips | {args.constraints.label} | "
         f"capacity {'unlim' if args.capacity is None else args.capacity}"

@@ -45,6 +45,16 @@ class SimulationConfig:
         dispatches each request immediately on arrival (the paper's
         behavior — with the ``greedy`` policy this reduces exactly to
         the immediate :class:`~repro.core.matching.Dispatcher`).
+    engine_kind:
+        Shortest-path engine backing the run (see
+        :data:`repro.roadnet.engine.ENGINE_KINDS`): ``"auto"`` picks
+        matrix for precomputable graphs and Dijkstra otherwise;
+        ``"matrix"`` / ``"dijkstra"`` / ``"hub_label"`` / ``"astar"`` /
+        ``"ch"`` force a specific engine. Honored by every entry point
+        that builds its own engine (the sim CLI, examples); callers of
+        :func:`repro.sim.simulator.simulate` that pass a prebuilt engine
+        are expected to build it with
+        ``make_engine(graph, config.engine_kind)``.
     grid_cell_meters:
         Grid-index cell size.
     seed:
@@ -59,6 +69,7 @@ class SimulationConfig:
     hotspot_theta: float | None = None
     eager_invalidation: bool = False
     report_interval: float = 60.0
+    engine_kind: str = "auto"
     dispatch_policy: str = "greedy"
     batch_window_s: float = 0.0
     assignment_rounds: int = 3
@@ -84,6 +95,11 @@ class SimulationConfig:
             raise ValueError("capacity must be >= 1 or None")
         if self.report_interval <= 0:
             raise ValueError("report_interval must be positive")
+        from repro.roadnet.engine import ENGINE_KINDS
+
+        if self.engine_kind not in ENGINE_KINDS:
+            known = ", ".join(ENGINE_KINDS)
+            raise ValueError(f"engine_kind must be one of: {known}")
         from repro.dispatch.policies import POLICY_REGISTRY
 
         if self.dispatch_policy not in POLICY_REGISTRY:

@@ -38,3 +38,19 @@ def test_registry_complete():
         "occupancy",
     ):
         assert required in ALL_EXPERIMENTS
+
+
+def test_micro_cli_fast(tmp_path, capsys):
+    """`python -m repro.bench.micro --fast` (the CI perf smoke step)."""
+    import json
+
+    from repro.bench.micro import ENGINE_KINDS, main as micro_main
+
+    out = tmp_path / "BENCH_micro.json"
+    assert micro_main(["--fast", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert set(doc["engines"]) == set(ENGINE_KINDS)
+    for row in doc["engines"].values():
+        assert row["scalar_queries_per_sec"] > 0
+        assert row["batched_queries_per_sec"] > 0
+    assert "micro_batched" in capsys.readouterr().out

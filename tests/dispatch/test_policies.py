@@ -197,3 +197,32 @@ def test_make_policy_registry():
         make_policy("simulated_annealing")
     with pytest.raises(ValueError):
         IterativePolicy(rounds=0)
+
+
+def test_near_tie_resolves_to_lowest_vehicle_id_like_submit():
+    """Costs within submit's 1e-9 tie tolerance: the snapped solver keys
+    compare equal, so lap picks the lowest vehicle id — exactly what
+    Dispatcher.submit does on the same quotes (previously the solver saw
+    the raw floats and handed the request to the nominally-cheaper,
+    higher-id vehicle)."""
+    agent_costs = [{0: 100.0 + 4e-10}, {0: 100.0}]
+
+    dispatcher, agents = _setup(agent_costs)
+    matrix = build_cost_matrix(dispatcher, [_request(0)], 100.0)
+    assert matrix.keys[0, 0] == matrix.keys[0, 1]
+    # Quotes keep the exact (unsnapped) costs.
+    assert matrix.quotes[0][0].cost == 100.0 + 4e-10
+
+    batch = LapPolicy().assign(dispatcher, [_request(0)], 100.0)
+    assert batch.results[0].winner is agents[0]
+
+    reference, ref_agents = _setup(agent_costs)
+    assert reference.submit(_request(0), 100.0).winner is ref_agents[0]
+
+
+def test_clear_cost_gap_still_wins_over_tie_break():
+    """Gaps beyond the snap grid keep strict cost order: the cheaper,
+    higher-id vehicle wins as before."""
+    dispatcher, agents = _setup([{0: 100.0}, {0: 99.0}])
+    batch = LapPolicy().assign(dispatcher, [_request(0)], 100.0)
+    assert batch.results[0].winner is agents[1]

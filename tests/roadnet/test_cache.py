@@ -117,3 +117,49 @@ def test_dual_cache_stats_and_clear():
     assert stats["distance_misses"] == 1
     cache.clear()
     assert cache.stats()["distance_entries"] == 0
+
+
+def test_row_cache_merge_grows_rows():
+    from repro.roadnet.cache import SourceRowCache
+
+    cache = SourceRowCache(4)
+    assert cache.get(3) is None
+    cache.merge(3, {1: 5.0, 2: 7.0}, exhausted=False)
+    settled, exhausted = cache.get(3)
+    assert settled == {1: 5.0, 2: 7.0} and not exhausted
+    # A later sweep folds in (grow-only) and can mark the row complete.
+    cache.merge(3, {4: 9.0}, exhausted=True)
+    settled, exhausted = cache.get(3)
+    assert settled == {1: 5.0, 2: 7.0, 4: 9.0} and exhausted
+
+
+def test_row_cache_lru_eviction_and_stats():
+    from repro.roadnet.cache import SourceRowCache
+
+    cache = SourceRowCache(2)
+    cache.merge(0, {1: 1.0}, exhausted=False)
+    cache.merge(1, {1: 1.0}, exhausted=False)
+    cache.get(0)  # refresh 0's recency
+    cache.merge(2, {1: 1.0}, exhausted=False)  # evicts 1
+    assert cache.get(1) is None
+    assert cache.get(0) is not None and cache.get(2) is not None
+    stats = cache.stats()
+    assert stats["row_entries"] == 2
+    assert stats["row_misses"] >= 1
+    cache.clear()
+    assert cache.stats()["row_entries"] == 0
+
+
+def test_row_cache_cell_budget_bounds_memory():
+    from repro.roadnet.cache import SourceRowCache
+
+    cache = SourceRowCache(100, max_cells=5)
+    cache.merge(0, {i: float(i) for i in range(4)}, exhausted=False)
+    cache.merge(1, {i: float(i) for i in range(4)}, exhausted=False)  # 8 > 5: evicts row 0
+    assert cache.get(0) is None
+    assert cache.get(1) is not None
+    assert cache.stats()["row_cells"] == 4
+    # A single over-budget row is still retained (active working set).
+    cache.merge(2, {i: float(i) for i in range(9)}, exhausted=False)
+    assert cache.get(2) is not None
+    assert cache.stats()["row_entries"] == 1

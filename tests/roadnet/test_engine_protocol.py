@@ -30,6 +30,30 @@ def test_distances_agree_everywhere(all_engines, small_city, rng):
             )
 
 
+def test_distance_many_agrees_across_kinds(all_engines, small_city, rng):
+    reference = all_engines["matrix"]
+    sources = [int(x) for x in rng.integers(0, small_city.num_vertices, 5)]
+    for source in sources:
+        targets = rng.integers(0, small_city.num_vertices, 12)
+        expected = np.array(
+            [reference.distance(source, int(t)) for t in targets]
+        )
+        for kind, engine in all_engines.items():
+            got = engine.distance_many(source, targets)
+            np.testing.assert_allclose(got, expected, rtol=1e-9, err_msg=kind)
+
+
+def test_distance_many_matches_own_scalar(all_engines, small_city, rng):
+    """The batched plane is elementwise identical to the engine's own
+    scalar plane (bit-for-bit, not just approximately)."""
+    for kind, engine in all_engines.items():
+        source = int(rng.integers(0, small_city.num_vertices))
+        targets = [int(t) for t in rng.integers(0, small_city.num_vertices, 10)]
+        got = engine.distance_many(source, targets)
+        expected = np.array([engine.distance(source, t) for t in targets])
+        assert np.array_equal(got, expected), kind
+
+
 def test_paths_valid_everywhere(all_engines, small_city, rng):
     for kind, engine in all_engines.items():
         s, e = (int(x) for x in rng.integers(0, small_city.num_vertices, 2))

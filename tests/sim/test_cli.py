@@ -62,3 +62,24 @@ def test_main_with_hotspot_and_unlimited(capsys):
     )
     assert code == 0
     assert "unlim" in capsys.readouterr().out
+
+
+def test_engine_flag_smoke(capsys):
+    code = main(
+        [
+            "--grid", "8",
+            "--vehicles", "4",
+            "--trips", "10",
+            "--hours", "0.5",
+            "--min-trip-meters", "400",
+            "--engine", "dijkstra",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "engine dijkstra" in out
+
+
+def test_engine_flag_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--engine", "teleporter"])

@@ -76,3 +76,28 @@ def test_build_fleet_tree_variant_passthrough(city_engine):
         assert agent.tree.mode == "basic"
         assert agent.tree.hotspot_theta == 25.0
         assert agent.tree.expansion_budget == 1000
+
+
+def test_config_engine_kind_validated():
+    assert SimulationConfig(engine_kind="hub_label").engine_kind == "hub_label"
+    assert SimulationConfig().engine_kind == "auto"
+    with pytest.raises(ValueError):
+        SimulationConfig(engine_kind="teleporter")
+
+
+def test_every_engine_kind_drives_the_simulator(small_city):
+    """All engines are exact, so pointing the simulator at any of them
+    yields the same assignments/service rate on a small scenario."""
+    from repro.roadnet.engine import ENGINE_KINDS, make_engine
+    from repro.sim.simulator import simulate
+    from repro.sim.workload import ShanghaiLikeWorkload
+
+    trips = ShanghaiLikeWorkload(small_city, seed=5, min_trip_meters=400.0).generate(
+        num_trips=12, duration_seconds=900
+    )
+    rates = {}
+    for kind in ENGINE_KINDS:
+        config = SimulationConfig(num_vehicles=4, seed=5, engine_kind=kind)
+        engine = make_engine(small_city, config.engine_kind)
+        rates[kind] = simulate(engine, config, trips).service_rate
+    assert len(set(rates.values())) == 1, rates
