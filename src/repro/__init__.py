@@ -30,9 +30,12 @@ Package map:
   dispatch), ``lap`` (one optimal request x vehicle linear assignment per
   window via a pure-numpy Hungarian solver, after Simonetto et al.) and
   ``iterative`` (repeated assignment rounds re-quoting unassigned
-  requests, after Vakayil et al.). Configure through
-  :class:`SimulationConfig` (``dispatch_policy``, ``batch_window_s``,
-  ``assignment_rounds``);
+  requests, after Vakayil et al.) and ``sharded`` (the lap solve
+  federated over grid-region shards with concurrent per-shard solves
+  and boundary reconciliation, :mod:`repro.dispatch.sharding`).
+  Configure through :class:`SimulationConfig` (``dispatch_policy``,
+  ``batch_window_s``, ``assignment_rounds``, ``num_shards``,
+  ``shard_backend``, ``shard_boundary_cells``);
 * :mod:`repro.algorithms` — brute force, branch & bound, MIP and
   insertion baselines;
 * :mod:`repro.sim` — event-driven simulator, synthetic Shanghai-like
@@ -84,9 +87,14 @@ from repro.dispatch import (
     IterativePolicy,
     LapPolicy,
     POLICY_REGISTRY,
+    ShardedPolicy,
+    ShardExecutor,
+    ShardPartitioner,
+    BoundaryReconciler,
     build_cost_matrix,
     make_policy,
     solve_assignment,
+    solve_sharded,
 )
 from repro.roadnet import (
     DijkstraEngine,
@@ -164,9 +172,14 @@ __all__ = [
     "IterativePolicy",
     "LapPolicy",
     "POLICY_REGISTRY",
+    "ShardedPolicy",
+    "ShardExecutor",
+    "ShardPartitioner",
+    "BoundaryReconciler",
     "build_cost_matrix",
     "make_policy",
     "solve_assignment",
+    "solve_sharded",
     # algorithms
     "SchedulingAlgorithm",
     "BruteForce",

@@ -504,6 +504,57 @@ def micro_batched() -> ExperimentTable:
     )
 
 
+def sharded_dispatch() -> ExperimentTable:
+    """Sharded per-flush solve: wall time by shard count and backend.
+
+    Also writes ``BENCH_shard.json`` to the working directory so future
+    PRs have a sharded-solve trajectory to beat (the companion of
+    ``BENCH_micro.json`` for the assignment plane). The headline claims:
+    ``shards=1`` (serial) returns exactly the global solve's pairs, and
+    per-flush solve time *improves* with shard count on the large
+    synthetic flush — the Hungarian solve is O(n^3), so k contiguous
+    shards cut the work ~k^2-fold before any parallelism.
+    """
+    from repro.bench.shard import run_shard_bench
+
+    result = run_shard_bench()
+    rows = []
+    for backend, cells in result["runs"].items():
+        for count, cell in sorted(cells.items(), key=lambda kv: int(kv[0])):
+            rows.append(
+                [
+                    backend,
+                    count,
+                    f"{cell['per_flush_seconds'] * 1000:.3f}",
+                    f"{cell.get('speedup_vs_serial_1', 0.0):.2f}x",
+                    str(cell["boundary_conflicts"]),
+                    str(cell["pairs_matched"]),
+                    "yes" if cell["matches_global"] else "no",
+                ]
+            )
+    w = result["workload"]
+    return ExperimentTable(
+        "sharded_dispatch",
+        "Sharded dispatch: per-flush solve wall time by shard count",
+        [
+            "backend",
+            "shards",
+            "solve_ms",
+            "speedup",
+            "boundary_conflicts",
+            "pairs_matched",
+            "matches_global",
+        ],
+        rows,
+        notes=(
+            f"{w['rows']} requests x {w['cols']} candidate vehicles on a "
+            f"{w['grid_side']}x{w['grid_side']} grid city "
+            f"(best of {w['repeats']}); matches_global is only expected "
+            "at shards=1 (BENCH_shard.json)"
+        ),
+    )
+
+
 def ablation_objective() -> ExperimentTable:
     """Total-cost vs delta-cost assignment objective (DESIGN.md ablation)."""
     ctx = get_context(TREE_SUITE)
@@ -592,6 +643,14 @@ DISPATCH_POLICY_CELLS: list[tuple[str, dict]] = [
         "iterative",
         {"dispatch_policy": "iterative", "batch_window_s": DISPATCH_WINDOW_S},
     ),
+    (
+        "sharded",
+        {
+            "dispatch_policy": "sharded",
+            "batch_window_s": DISPATCH_WINDOW_S,
+            "num_shards": 4,
+        },
+    ),
 ]
 
 
@@ -656,6 +715,7 @@ ALL_EXPERIMENTS = {
     "occupancy": (occupancy, "Unlimited-capacity occupancy statistics"),
     "micro_engine": (micro_engine, "Engine throughput / cache hit rates"),
     "micro_batched": (micro_batched, "Scalar vs batched distance plane"),
+    "sharded_dispatch": (sharded_dispatch, "Sharded per-flush solve scaling"),
     "ablation_objective": (ablation_objective, "total vs delta objective"),
     "ablation_invalidation": (ablation_invalidation, "eager vs lazy pruning"),
     "ablation_beam": (ablation_beam, "schedule-cap load shedding"),

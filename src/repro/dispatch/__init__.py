@@ -11,7 +11,11 @@ whole batch through a pluggable :class:`DispatchPolicy`:
 * :class:`LapPolicy` — one optimal request x vehicle linear assignment
   (pure-numpy Hungarian solver, :func:`solve_assignment`);
 * :class:`IterativePolicy` — repeated assignment rounds re-quoting
-  unassigned requests against updated schedules.
+  unassigned requests against updated schedules;
+* :class:`ShardedPolicy` — ``lap`` with the global solve federated over
+  grid-region shards (:mod:`repro.dispatch.sharding`): concurrent
+  per-shard Hungarian solves plus deterministic boundary
+  reconciliation; ``shards=1`` is bit-identical to ``lap``.
 
 Cost matrices are built per vehicle (:func:`build_cost_matrix`), so a
 vehicle quoting many requests computes its decision point once and reuses
@@ -27,7 +31,16 @@ from repro.dispatch.policies import (
     IterativePolicy,
     LapPolicy,
     POLICY_REGISTRY,
+    ShardedPolicy,
     make_policy,
+)
+from repro.dispatch.sharding import (
+    SHARD_BACKENDS,
+    BoundaryReconciler,
+    ShardExecutor,
+    ShardPartitioner,
+    ShardPlan,
+    solve_sharded,
 )
 from repro.dispatch.solver import assignment_cost, solve_assignment
 from repro.dispatch.window import BatchWindow
@@ -36,14 +49,21 @@ __all__ = [
     "BatchDispatcher",
     "BatchResult",
     "BatchWindow",
+    "BoundaryReconciler",
     "CostMatrix",
     "DispatchPolicy",
     "GreedyPolicy",
     "IterativePolicy",
     "LapPolicy",
     "POLICY_REGISTRY",
+    "SHARD_BACKENDS",
+    "ShardExecutor",
+    "ShardPartitioner",
+    "ShardPlan",
+    "ShardedPolicy",
     "assignment_cost",
     "build_cost_matrix",
     "make_policy",
+    "solve_sharded",
     "solve_assignment",
 ]

@@ -1,0 +1,117 @@
+"""Shard fan-out over ``concurrent.futures`` backends.
+
+Three backends solve the per-shard assignment problems:
+
+* ``serial`` — a plain loop in the calling thread: zero overhead, and
+  the reference the parallel backends are tested against (with one
+  shard it is bit-identical to today's global solve);
+* ``thread`` — a shared :class:`~concurrent.futures.ThreadPoolExecutor`
+  (the Hungarian solver releases no GIL, but numpy's vectorized inner
+  steps do; useful for overlapping many small shards);
+* ``process`` — a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+  for true multi-core solves. Only the numeric key submatrix crosses
+  the process boundary — quotes, agents and trees stay in the parent —
+  which is why the sharded plane splits *quoting* (parent, batched
+  ``quote_batch`` sweeps) from *solving* (workers, pure numpy).
+
+Whatever the backend or worker count, results are re-ordered by shard
+id before anything downstream sees them, so completion order can never
+leak into assignments.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.dispatch.solver import solve_assignment
+
+#: Legal ``shard_backend`` values (also what ``SimulationConfig`` takes).
+SHARD_BACKENDS = ("serial", "thread", "process")
+
+
+def solve_one_shard(
+    shard_id: int, keys: np.ndarray
+) -> tuple[int, list[tuple[int, int]], float]:
+    """Solve one shard's submatrix; returns ``(shard_id, pairs, secs)``.
+
+    Module-level so the process backend can pickle it; ``secs`` is the
+    in-worker solve time (the per-shard sample the metrics report).
+    """
+    started = _time.perf_counter()
+    pairs = solve_assignment(keys)
+    return shard_id, pairs, _time.perf_counter() - started
+
+
+class ShardExecutor:
+    """Runs per-shard solves on a configurable backend.
+
+    The underlying pool (thread/process backends) is created lazily on
+    first use and reused across flushes — a simulation performs
+    thousands of flushes and pool spin-up dwarfs a small solve. Call
+    :meth:`close` to release it early; otherwise it is torn down with
+    the executor object.
+    """
+
+    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+        if backend not in SHARD_BACKENDS:
+            known = ", ".join(SHARD_BACKENDS)
+            raise ValueError(f"shard backend must be one of: {known}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 or None")
+        self.backend = backend
+        self.max_workers = max_workers
+        self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardExecutor(backend={self.backend!r}, "
+            f"max_workers={self.max_workers})"
+        )
+
+    # ------------------------------------------------------------------
+    def _get_pool(self):
+        if self._pool is None:
+            cls = (
+                ThreadPoolExecutor
+                if self.backend == "thread"
+                else ProcessPoolExecutor
+            )
+            self._pool = cls(max_workers=self.max_workers)
+        return self._pool
+
+    def run(
+        self, tasks: list[tuple[int, np.ndarray]]
+    ) -> list[tuple[int, list[tuple[int, int]], float]]:
+        """Solve every ``(shard_id, keys)`` task; results sorted by
+        shard id regardless of completion order."""
+        if self.backend == "serial":
+            results = [solve_one_shard(sid, keys) for sid, keys in tasks]
+        else:
+            pool = self._get_pool()
+            futures = [
+                pool.submit(solve_one_shard, sid, keys) for sid, keys in tasks
+            ]
+            results = [f.result() for f in futures]
+        results.sort(key=lambda r: r[0])
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

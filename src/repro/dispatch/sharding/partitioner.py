@@ -1,0 +1,220 @@
+"""Spatial partitioning of one batch's cost matrix into shards.
+
+The :class:`ShardPartitioner` splits the request rows of a
+:class:`~repro.dispatch.costs.CostMatrix` into ``num_shards`` spatial
+shards using the :class:`~repro.spatial.grid_index.GridIndex` cell of
+each request's pickup: occupied cells are ordered along a serpentine
+row-major curve and cut into contiguous runs of roughly equal request
+count, so every shard is one coherent region of the city rather than a
+scatter of cells (contiguity is what keeps each shard's candidate
+vehicle set — and therefore its cost matrix — narrow).
+
+Each shard's candidate *columns* are the vehicles that quoted a finite
+key for at least one of the shard's rows; with ``boundary_cells`` set,
+columns are additionally restricted to vehicles whose last reported grid
+cell lies within that many cells (Chebyshev distance) of the shard's
+territory — a halo that bounds per-shard matrix width at the price of
+pushing out-of-halo matches into the policy's sequential cleanup.
+Vehicles the grid has never seen are conservatively eligible everywhere.
+
+The same vehicle may be a candidate column of several shards; resolving
+the resulting double-assignments is the
+:class:`~repro.dispatch.sharding.reconciler.BoundaryReconciler`'s job.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Shard:
+    """One shard's slice of the batch: global row/column indices.
+
+    ``rows`` and ``cols`` are ascending indices into the batch cost
+    matrix, so ``keys[np.ix_(rows, cols)]`` is the shard's submatrix and
+    local solver pairs map back through plain indexing.
+    """
+
+    shard_id: int
+    rows: tuple[int, ...]
+    cols: tuple[int, ...]
+    #: Grid cells owned by this shard (empty for the fallback shard).
+    cells: frozenset = frozenset()
+
+
+@dataclass(slots=True)
+class ShardPlan:
+    """The partition of one flush.
+
+    ``fallback_reason`` is set when spatial sharding was impossible
+    (single shard requested, no grid index, or no coordinates) and the
+    plan degenerated to one global shard.
+    """
+
+    shards: list[Shard] = field(default_factory=list)
+    num_shards_requested: int = 1
+    fallback_reason: str | None = None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+
+class ShardPartitioner:
+    """Groups a batch's rows and candidate columns by grid region.
+
+    Parameters
+    ----------
+    num_shards:
+        Target shard count. The plan may contain fewer (never more)
+        shards when the batch occupies fewer cells than shards.
+    boundary_cells:
+        Optional halo width in grid cells for candidate-column
+        filtering; ``None`` (the default) keeps every feasible column,
+        trading larger shard matrices for zero lost matches before
+        reconciliation.
+    """
+
+    def __init__(self, num_shards: int = 1, boundary_cells: int | None = None):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if boundary_cells is not None and boundary_cells < 0:
+            raise ValueError("boundary_cells must be >= 0 or None")
+        self.num_shards = num_shards
+        self.boundary_cells = boundary_cells
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardPartitioner(num_shards={self.num_shards}, "
+            f"boundary_cells={self.boundary_cells})"
+        )
+
+    # ------------------------------------------------------------------
+    def plan(self, matrix, grid_index=None, coords=None) -> ShardPlan:
+        """Partition one :class:`~repro.dispatch.costs.CostMatrix`.
+
+        ``grid_index`` is the live vehicle grid (supplies the cell
+        geometry and the vehicles' last reported cells); ``coords`` the
+        road graph's vertex coordinates. Either missing forces the
+        single-shard fallback, which is bit-identical to a global solve.
+        """
+        m, n = matrix.shape
+        all_rows = tuple(range(m))
+        all_cols = tuple(range(n))
+        if self.num_shards == 1:
+            return ShardPlan(
+                shards=[Shard(0, all_rows, all_cols)],
+                num_shards_requested=self.num_shards,
+            )
+        reason = None
+        if grid_index is None:
+            reason = "no grid index"
+        elif coords is None:
+            reason = "graph has no coordinates"
+        elif m == 0:
+            reason = "empty batch"
+        if reason is not None:
+            return ShardPlan(
+                shards=[Shard(0, all_rows, all_cols)],
+                num_shards_requested=self.num_shards,
+                fallback_reason=reason,
+            )
+
+        rows_by_cell: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for row, request in enumerate(matrix.requests):
+            x, y = coords[request.origin]
+            rows_by_cell[grid_index.cell_of(float(x), float(y))].append(row)
+
+        cell_groups = self._balance_cells(rows_by_cell)
+        finite = np.isfinite(matrix.keys)
+        shards: list[Shard] = []
+        for cells in cell_groups:
+            rows = sorted(r for cell in cells for r in rows_by_cell[cell])
+            cols = self._columns_for(rows, cells, finite, matrix, grid_index)
+            shards.append(
+                Shard(len(shards), tuple(rows), cols, frozenset(cells))
+            )
+        return ShardPlan(shards=shards, num_shards_requested=self.num_shards)
+
+    # ------------------------------------------------------------------
+    def _balance_cells(
+        self, rows_by_cell: dict[tuple[int, int], list[int]]
+    ) -> list[list[tuple[int, int]]]:
+        """Split the occupied cells into spatially contiguous groups of
+        roughly equal request count.
+
+        Cells are ordered along a serpentine row-major curve (even rows
+        left-to-right, odd rows right-to-left — consecutive cells are
+        always grid neighbors) and cut into ``num_shards`` contiguous
+        runs, closing each run once it reaches its fair share of the
+        remaining requests. Contiguity is what makes sharding pay:
+        a shard's candidate vehicles then cluster around one region
+        instead of the whole city, so its cost matrix is narrow as well
+        as short. Deterministic for a fixed request set.
+        """
+        k = min(self.num_shards, len(rows_by_cell))
+        ordered = sorted(
+            rows_by_cell,
+            key=lambda cell: (
+                cell[0],
+                cell[1] if cell[0] % 2 == 0 else -cell[1],
+            ),
+        )
+        total = sum(len(rows) for rows in rows_by_cell.values())
+        groups: list[list[tuple[int, int]]] = []
+        current: list[tuple[int, int]] = []
+        load = 0
+        remaining = total
+        for i, cell in enumerate(ordered):
+            current.append(cell)
+            load += len(rows_by_cell[cell])
+            remaining -= len(rows_by_cell[cell])
+            shards_left = k - len(groups)
+            cells_left = len(ordered) - i - 1
+            if shards_left <= 1:
+                continue
+            # Close the run once it holds its fair share of what was
+            # left to place — but never so late that the remaining
+            # shards can't get one cell each (must_close), and never so
+            # early that they couldn't (the cells_left guard), so the
+            # plan always has exactly min(num_shards, occupied cells)
+            # non-empty shards.
+            must_close = cells_left == shards_left - 1
+            want_close = load >= (load + remaining) / shards_left
+            if must_close or (want_close and cells_left >= shards_left - 1):
+                groups.append(current)
+                current, load = [], 0
+        if current:
+            groups.append(current)
+        return groups
+
+    def _columns_for(
+        self, rows, cells, finite: np.ndarray, matrix, grid_index
+    ) -> tuple[int, ...]:
+        """Candidate columns of one shard: vehicles with a finite key for
+        any shard row, optionally halo-filtered by reported cell."""
+        if not rows:
+            return ()
+        feasible = np.nonzero(finite[rows].any(axis=0))[0]
+        if self.boundary_cells is None:
+            return tuple(int(c) for c in feasible)
+        halo: set[tuple[int, int]] = set()
+        k = self.boundary_cells
+        for row, col in cells:
+            halo.update(
+                grid_index.cells_in_region(row - k, col - k, row + k, col + k)
+            )
+        cols = []
+        for col in feasible:
+            where = grid_index.cell_location(
+                matrix.agents[col].vehicle.vehicle_id
+            )
+            # Unreported vehicles are eligible everywhere: the halo is a
+            # perf bound, never a correctness filter.
+            if where is None or where in halo:
+                cols.append(int(col))
+        return tuple(cols)

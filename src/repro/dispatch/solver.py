@@ -11,31 +11,44 @@ Infeasibility is handled by the standard "big-M" reduction: infeasible
 cells are replaced by a constant larger than any possible finite
 assignment-cost difference, so the solver first *maximizes the number of
 feasible pairs* and only then minimizes total cost among them; pairs that
-still land on a big-M cell are dropped from the result.
+still land on a big-M cell are dropped from the result. Callers that
+require *every* row matched (rather than as many as feasibility allows)
+pass ``require_assignment=True`` and get a typed
+:class:`~repro.exceptions.AssignmentInfeasibleError` naming the
+unassignable rows instead of a silently partial pairing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.exceptions import AssignmentInfeasibleError
 
-def _hungarian_square(cost: np.ndarray) -> np.ndarray:
-    """Optimal assignment of a square all-finite cost matrix.
+
+def _hungarian_rect(cost: np.ndarray) -> np.ndarray:
+    """Optimal assignment of an all-finite cost matrix with ``m <= n``.
+
+    The shortest-augmenting-path algorithm runs one augmentation per
+    *row* and keeps columns unpadded, so a wide rectangular matrix costs
+    O(m n^2) — no degenerate all-equal dummy rows, which matters a lot
+    for the sharded solve where per-shard blocks are short and wide.
 
     Returns ``p`` of length ``n + 1`` where ``p[j]`` (1-based) is the row
-    assigned to column ``j``; index 0 is the algorithm's sentinel column.
+    assigned to column ``j`` (0 = unassigned); index 0 is the
+    algorithm's sentinel column.
     """
-    n = cost.shape[0]
-    u = np.zeros(n + 1)
+    m, n = cost.shape
+    u = np.zeros(m + 1)
     v = np.zeros(n + 1)
     p = np.zeros(n + 1, dtype=np.int64)
     way = np.zeros(n + 1, dtype=np.int64)
     cols = np.arange(1, n + 1)
-    for i in range(1, n + 1):
+    for i in range(1, m + 1):
         p[0] = i
         j0 = 0
         minv = np.full(n + 1, np.inf)
         used = np.zeros(n + 1, dtype=bool)
+        # m <= n guarantees a free column is always reachable.
         while True:
             used[j0] = True
             i0 = p[j0]
@@ -61,7 +74,7 @@ def _hungarian_square(cost: np.ndarray) -> np.ndarray:
     return p
 
 
-def solve_assignment(costs) -> list[tuple[int, int]]:
+def solve_assignment(costs, *, require_assignment: bool = False) -> list[tuple[int, int]]:
     """Minimum-cost maximum-cardinality assignment with infeasible cells.
 
     Parameters
@@ -69,7 +82,16 @@ def solve_assignment(costs) -> list[tuple[int, int]]:
     costs:
         ``(m, n)`` array-like; ``costs[i, j]`` is the cost of giving row
         (request) ``i`` to column (vehicle) ``j``, ``np.inf`` (or NaN)
-        where the pair is infeasible. Rectangular matrices are fine.
+        where the pair is infeasible. Rectangular matrices are fine:
+        with more rows than columns at most ``n`` rows are matched, a
+        single row degenerates to an argmin over its finite cells, and
+        an all-infeasible matrix yields no pairs at all.
+    require_assignment:
+        When true, demand that *every* row is matched: if infeasibility
+        (or a row/column shortage) leaves any row unpaired, raise
+        :class:`~repro.exceptions.AssignmentInfeasibleError` carrying
+        the unassigned row indices instead of returning the partial
+        pairing.
 
     Returns
     -------
@@ -82,28 +104,50 @@ def solve_assignment(costs) -> list[tuple[int, int]]:
         raise ValueError("cost matrix must be 2-dimensional")
     m, n = matrix.shape
     if m == 0 or n == 0:
-        return []
-    feasible = np.isfinite(matrix)
-    if not feasible.any():
-        return []
-    finite = matrix[feasible]
-    # Big enough that one extra infeasible cell always costs more than
-    # any rearrangement of finite cells can save.
-    big = 2.0 * float(np.abs(finite).sum()) + 1.0
-    k = max(m, n)
-    square = np.zeros((k, k))
-    square[:m, :n] = np.where(feasible, matrix, big)
-    p = _hungarian_square(square)
-    pairs = [
-        (int(p[j] - 1), j - 1)
-        for j in range(1, k + 1)
-        if p[j] - 1 < m and j - 1 < n and feasible[p[j] - 1, j - 1]
-    ]
-    pairs.sort()
+        pairs: list[tuple[int, int]] = []
+    else:
+        feasible = np.isfinite(matrix)
+        if not feasible.any():
+            pairs = []
+        else:
+            # The rectangular algorithm needs rows <= columns; a tall
+            # matrix is solved transposed and the pairs swapped back.
+            transposed = m > n
+            work = matrix.T if transposed else matrix
+            mask = feasible.T if transposed else feasible
+            finite = work[mask]
+            # Big enough that one extra infeasible cell always costs more
+            # than any rearrangement of finite cells can save.
+            big = 2.0 * float(np.abs(finite).sum()) + 1.0
+            p = _hungarian_rect(np.where(mask, work, big))
+            pairs = [
+                (int(p[j] - 1), j - 1)
+                for j in range(1, work.shape[1] + 1)
+                if p[j] > 0 and mask[p[j] - 1, j - 1]
+            ]
+            if transposed:
+                pairs = [(j, i) for i, j in pairs]
+            pairs.sort()
+    if require_assignment and len(pairs) < m:
+        matched = {i for i, _ in pairs}
+        raise AssignmentInfeasibleError(
+            [i for i in range(m) if i not in matched]
+        )
     return pairs
 
 
 def assignment_cost(costs, pairs) -> float:
-    """Total cost of an assignment returned by :func:`solve_assignment`."""
+    """Total cost of an assignment returned by :func:`solve_assignment`.
+
+    Costing a pair the matrix marks infeasible raises a typed
+    :class:`~repro.exceptions.AssignmentInfeasibleError` — a non-finite
+    total is always a caller bug, never a meaningful objective value.
+    """
     matrix = np.asarray(costs, dtype=float)
+    bad = [i for i, j in pairs if not np.isfinite(matrix[i, j])]
+    if bad:
+        raise AssignmentInfeasibleError(
+            bad, "assignment pairs land on infeasible cell(s) in row(s) "
+            + ", ".join(str(r) for r in bad)
+        )
     return float(sum(matrix[i, j] for i, j in pairs))

@@ -31,6 +31,24 @@ class CapacityError(ReproError):
     """Raised when an operation would exceed a vehicle's seat capacity."""
 
 
+class AssignmentInfeasibleError(ReproError):
+    """Raised by the batch assignment solver when a caller demands a
+    complete matching but infeasible cells make some rows unassignable —
+    or when an assignment is costed against a pair the matrix marks
+    infeasible. Carries the offending row indices so dispatch layers can
+    report *which* requests could not be matched instead of silently
+    dropping them."""
+
+    def __init__(self, rows, message: str | None = None):
+        self.rows = tuple(rows)
+        if message is None:
+            message = (
+                "no feasible assignment for row(s) "
+                + ", ".join(str(r) for r in self.rows)
+            )
+        super().__init__(message)
+
+
 class SimulationError(ReproError):
     """Raised for inconsistent simulator state (e.g. events out of order)."""
 

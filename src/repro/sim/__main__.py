@@ -6,6 +6,8 @@ Run a full ridesharing simulation on a generated city from the shell::
     python -m repro.sim --algorithm mip --trips 40 --constraints 5:10
     python -m repro.sim --capacity unlimited --hotspot-theta 40
     python -m repro.sim --dispatch-policy lap --batch-window 15
+    python -m repro.sim --dispatch-policy sharded --batch-window 15 \\
+        --shards 4 --shard-backend thread
     python -m repro.sim --engine hub_label --vehicles 40
 
 Prints the Section VI metrics (ACRT, ART buckets, occupancy, service
@@ -20,6 +22,7 @@ import sys
 from repro.algorithms.base import ALGORITHM_REGISTRY
 from repro.core.constraints import ConstraintConfig
 from repro.dispatch.policies import POLICY_REGISTRY
+from repro.dispatch.sharding import SHARD_BACKENDS
 from repro.roadnet.engine import ENGINE_KINDS, make_engine
 from repro.roadnet.generators import grid_city
 from repro.sim.config import SimulationConfig
@@ -95,6 +98,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--assignment-rounds", type=int, default=3,
         help="max LAP rounds for the iterative policy",
     )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="spatial shard count for the sharded policy (1 = global)",
+    )
+    parser.add_argument(
+        "--shard-backend",
+        default="serial",
+        choices=SHARD_BACKENDS,
+        help="per-shard solve executor for the sharded policy",
+    )
+    parser.add_argument(
+        "--shard-boundary-cells", type=int, default=None,
+        help="candidate-halo width in grid cells for the sharded policy "
+        "(default: no halo, keep every feasible candidate)",
+    )
     return parser
 
 
@@ -117,6 +135,9 @@ def main(argv: list[str] | None = None) -> int:
         dispatch_policy=args.dispatch_policy,
         batch_window_s=args.batch_window,
         assignment_rounds=args.assignment_rounds,
+        num_shards=args.shards,
+        shard_backend=args.shard_backend,
+        shard_boundary_cells=args.shard_boundary_cells,
         seed=args.seed,
     )
     print(

@@ -45,6 +45,17 @@ class SimulationConfig:
         dispatches each request immediately on arrival (the paper's
         behavior — with the ``greedy`` policy this reduces exactly to
         the immediate :class:`~repro.core.matching.Dispatcher`).
+        The ``"sharded"`` policy federates the lap solve over spatial
+        shards (:mod:`repro.dispatch.sharding`).
+    num_shards / shard_backend / shard_boundary_cells:
+        Sharded-dispatch knobs (only honored by the ``"sharded"``
+        policy). ``num_shards`` is the target spatial partition count
+        (1 = global solve, bit-identical to ``"lap"``);
+        ``shard_backend`` picks the per-shard solve executor
+        (``"serial"``, ``"thread"`` or ``"process"`` — results are
+        identical across backends); ``shard_boundary_cells`` is the
+        optional candidate-halo width in grid cells (``None`` keeps
+        every feasible candidate per shard).
     engine_kind:
         Shortest-path engine backing the run (see
         :data:`repro.roadnet.engine.ENGINE_KINDS`): ``"auto"`` picks
@@ -73,6 +84,9 @@ class SimulationConfig:
     dispatch_policy: str = "greedy"
     batch_window_s: float = 0.0
     assignment_rounds: int = 3
+    num_shards: int = 1
+    shard_backend: str = "serial"
+    shard_boundary_cells: int | None = None
     grid_cell_meters: float = 500.0
     use_grid_index: bool = True
     #: Assignment objective: "total" (the paper's — minimize the full
@@ -121,3 +135,22 @@ class SimulationConfig:
             )
         if self.assignment_rounds < 1:
             raise ValueError("assignment_rounds must be >= 1")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        from repro.dispatch.sharding import SHARD_BACKENDS
+
+        if self.shard_backend not in SHARD_BACKENDS:
+            known = ", ".join(SHARD_BACKENDS)
+            raise ValueError(f"shard_backend must be one of: {known}")
+        if self.shard_boundary_cells is not None and self.shard_boundary_cells < 0:
+            raise ValueError("shard_boundary_cells must be >= 0 or None")
+        if (
+            self.dispatch_policy == "sharded"
+            and self.num_shards > 1
+            and not self.use_grid_index
+        ):
+            raise ValueError(
+                "sharded dispatch with num_shards > 1 requires the grid "
+                "index (use_grid_index=True): without it every flush "
+                "would silently degenerate to a single global shard"
+            )

@@ -132,6 +132,16 @@ class SimulationReport:
     batch_sizes: RunningStats = field(default_factory=RunningStats)
     solver_seconds: RunningStats = field(default_factory=RunningStats)
     batch_rejections: RunningStats = field(default_factory=RunningStats)
+    #: Sharded dispatch (repro.dispatch.sharding): requests per solved
+    #: shard, in-worker solve seconds per shard, and boundary conflicts
+    #: (vehicles claimed by several shards) per flush. Empty unless the
+    #: ``sharded`` policy ran.
+    shard_sizes: RunningStats = field(default_factory=RunningStats)
+    shard_solve_seconds: RunningStats = field(default_factory=RunningStats)
+    boundary_conflicts: RunningStats = field(default_factory=RunningStats)
+    #: Flushes whose shard plan silently degenerated to one global shard
+    #: (no grid index / no coordinates) despite more being requested.
+    shard_fallbacks: int = 0
     wall_seconds: float = 0.0
     #: request_id -> {"request", "vehicle", "assigned_cost", "pickup",
     #: "dropoff"} — everything needed to audit the service guarantee.
@@ -177,6 +187,13 @@ class SimulationReport:
         self.batch_sizes.add(batch.batch_size)
         self.solver_seconds.add(batch.solver_seconds)
         self.batch_rejections.add(batch.num_rejected)
+        for size in batch.shard_sizes:
+            self.shard_sizes.add(size)
+        for seconds in batch.shard_solve_seconds:
+            self.shard_solve_seconds.add(seconds)
+        if batch.shard_sizes:
+            self.boundary_conflicts.add(batch.boundary_conflicts)
+        self.shard_fallbacks += batch.shard_fallbacks
 
     def verify_service_guarantees(self, tolerance: float = 1e-5) -> list[str]:
         """Audit the service log against Definition 2: every assigned
@@ -223,6 +240,11 @@ class SimulationReport:
             "max_batch_size": int(self.batch_sizes.max) if self.num_batches else 0,
             "solver_ms_mean": round(self.solver_seconds.mean * 1000.0, 4),
             "mean_batch_rejected": round(self.batch_rejections.mean, 3),
+            "shards_solved": self.shard_sizes.count,
+            "mean_shard_size": round(self.shard_sizes.mean, 2),
+            "shard_solve_ms_mean": round(self.shard_solve_seconds.mean * 1000.0, 4),
+            "boundary_conflicts": int(self.boundary_conflicts.total),
+            "shard_fallbacks": self.shard_fallbacks,
             "wall_seconds": round(self.wall_seconds, 3),
         }
 
@@ -259,4 +281,26 @@ class SimulationReport:
             lines.append(
                 f"{'rejected_per_batch':24s} mean {self.batch_rejections.mean:.3f}"
             )
+        if self.shard_sizes.count:
+            lines.append("--- sharded dispatch ---")
+            lines.append(f"{'shards_solved':24s} {self.shard_sizes.count}")
+            lines.append(
+                f"{'shard_size':24s} mean {self.shard_sizes.mean:.2f} "
+                f"max {int(self.shard_sizes.max)}"
+            )
+            lines.append(
+                f"{'shard_solve_ms':24s} mean "
+                f"{self.shard_solve_seconds.mean * 1000:.3f} "
+                f"max {self.shard_solve_seconds.max * 1000:.3f}"
+            )
+            lines.append(
+                f"{'boundary_conflicts':24s} total "
+                f"{int(self.boundary_conflicts.total)} "
+                f"mean {self.boundary_conflicts.mean:.3f}"
+            )
+            if self.shard_fallbacks:
+                lines.append(
+                    f"{'shard_fallbacks':24s} {self.shard_fallbacks} "
+                    "(flushes solved globally: no grid index/coords)"
+                )
         return "\n".join(lines)

@@ -70,7 +70,13 @@ class Simulation:
         )
         self.batch_dispatcher = BatchDispatcher(
             self.dispatcher,
-            make_policy(config.dispatch_policy, config.assignment_rounds),
+            make_policy(
+                config.dispatch_policy,
+                config.assignment_rounds,
+                num_shards=config.num_shards,
+                shard_backend=config.shard_backend,
+                shard_boundary_cells=config.shard_boundary_cells,
+            ),
         )
         self.batch_window = (
             BatchWindow(config.batch_window_s)

@@ -1,0 +1,177 @@
+"""Sharded dispatch determinism guarantees.
+
+Three pins:
+
+* ``sharded`` with ``num_shards=1`` (serial backend) is byte-identical
+  to the unsharded global ``lap`` solve on every deterministic metric;
+* for a fixed seed, assignments are identical across the ``serial``,
+  ``thread`` and ``process`` backends;
+* worker count never changes the result (completion order is sorted
+  away before reconciliation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.sharding import (
+    ShardExecutor,
+    ShardPartitioner,
+    solve_sharded,
+)
+from repro.dispatch.solver import solve_assignment
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.workload import ShanghaiLikeWorkload
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    city = grid_city(16, 16, seed=9)
+    engine = MatrixEngine(city)
+    trips = ShanghaiLikeWorkload(city, seed=9, min_trip_meters=800.0).generate(
+        num_trips=90, duration_seconds=1500
+    )
+    return engine, trips
+
+
+def _deterministic_state(report):
+    """Everything a run produces except wall-clock timings."""
+    return {
+        "num_requests": report.num_requests,
+        "num_assigned": report.num_assigned,
+        "num_rejected": report.num_rejected,
+        "total_cost": report.total_assignment_cost,
+        "art_counts": {k: v.count for k, v in report.art.buckets.items()},
+        "occupancy": dict(report.occupancy._max_by_vehicle),
+        "service_log": {
+            rid: {
+                "vehicle": entry.get("vehicle"),
+                "assigned_cost": entry.get("assigned_cost"),
+                "pickup": entry.get("pickup"),
+                "dropoff": entry.get("dropoff"),
+            }
+            for rid, entry in report.service_log.items()
+        },
+    }
+
+
+def _run(scenario, policy, **overrides):
+    engine, trips = scenario
+    config = SimulationConfig(
+        num_vehicles=10,
+        algorithm="kinetic",
+        seed=5,
+        dispatch_policy=policy,
+        batch_window_s=20.0,
+        **overrides,
+    )
+    return simulate(engine, config, trips)
+
+
+def test_one_shard_serial_equals_global_lap(scenario):
+    lap = _run(scenario, "lap")
+    sharded = _run(scenario, "sharded", num_shards=1)
+    assert _deterministic_state(sharded) == _deterministic_state(lap)
+    # No sharded run records zero-shard batches.
+    assert sharded.shard_sizes.count == sharded.num_batches
+    assert int(sharded.boundary_conflicts.total) == 0
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_backends_agree_with_serial(scenario, backend):
+    serial = _run(scenario, "sharded", num_shards=3)
+    other = _run(
+        scenario, "sharded", num_shards=3, shard_backend=backend
+    )
+    assert _deterministic_state(other) == _deterministic_state(serial)
+
+
+def test_boundary_cells_zero_still_serves_every_request(scenario):
+    """An aggressive halo may push matches into the sequential cleanup
+    but must never lose requests outright."""
+    unlimited = _run(scenario, "sharded", num_shards=3)
+    tight = _run(
+        scenario, "sharded", num_shards=3, shard_boundary_cells=0
+    )
+    assert tight.num_requests == unlimited.num_requests
+    assert tight.num_assigned >= 0.9 * unlimited.num_assigned
+
+
+# ----------------------------------------------------------------------
+# Matrix-level: worker counts and shard counts on the numeric plane
+# ----------------------------------------------------------------------
+def _random_keys(seed, m=40, n=30, infeasible=0.4):
+    rng = np.random.default_rng(seed)
+    keys = rng.uniform(1.0, 100.0, size=(m, n))
+    keys[rng.random((m, n)) < infeasible] = np.inf
+    return keys
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_worker_count_never_changes_pairs(backend, workers):
+    keys = _random_keys(21)
+    # A hand-rolled 4-shard plan over the raw matrix (no grid needed).
+    from repro.dispatch.sharding.partitioner import Shard, ShardPlan
+
+    rows = np.array_split(np.arange(keys.shape[0]), 4)
+    plan = ShardPlan(
+        shards=[
+            Shard(i, tuple(int(r) for r in rs), tuple(range(keys.shape[1])))
+            for i, rs in enumerate(rows)
+        ],
+        num_shards_requested=4,
+    )
+    with ShardExecutor("serial") as serial_ex:
+        reference = solve_sharded(keys, plan, serial_ex)
+    with ShardExecutor(backend, max_workers=workers) as ex:
+        outcome = solve_sharded(keys, plan, ex)
+    assert outcome.pairs == reference.pairs
+    assert outcome.boundary_conflicts == reference.boundary_conflicts
+    assert outcome.shard_sizes == reference.shard_sizes
+
+
+def test_sharded_without_grid_index_is_rejected_by_config():
+    with pytest.raises(ValueError, match="grid index"):
+        SimulationConfig(
+            dispatch_policy="sharded", num_shards=2, use_grid_index=False
+        )
+
+
+def test_fallback_reason_surfaces_in_outcome():
+    """A degenerate plan must say so: the outcome (and through it the
+    batch metrics) records why the flush was solved globally."""
+    keys = _random_keys(5, m=6, n=5)
+    plan = ShardPartitioner(3).plan(
+        _MatrixShim(keys), grid_index=None, coords=None
+    )
+    with ShardExecutor("serial") as ex:
+        outcome = solve_sharded(keys, plan, ex)
+    assert outcome.fallback_reason == "no grid index"
+    assert outcome.num_shards == 1
+    assert outcome.pairs == solve_assignment(keys)
+
+
+def test_single_shard_plan_is_bitwise_global():
+    keys = _random_keys(33, m=25, n=25)
+    plan = ShardPartitioner(1).plan(_MatrixShim(keys))
+    with ShardExecutor("serial") as ex:
+        outcome = solve_sharded(keys, plan, ex)
+    assert outcome.pairs == solve_assignment(keys)
+    assert outcome.boundary_conflicts == 0
+    assert outcome.num_shards == 1
+
+
+class _MatrixShim:
+    """Duck-typed stand-in for CostMatrix in single-shard plans."""
+
+    def __init__(self, keys):
+        self.keys = keys
+        self.requests = [None] * keys.shape[0]
+        self.agents = [None] * keys.shape[1]
+
+    @property
+    def shape(self):
+        return self.keys.shape

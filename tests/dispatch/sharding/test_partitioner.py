@@ -1,0 +1,190 @@
+"""ShardPartitioner: cell grouping, balancing, halos and fallbacks."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.dispatch.sharding import ShardPartitioner
+from repro.spatial.geometry import BoundingBox
+from repro.spatial.grid_index import GridIndex
+
+
+@dataclass
+class FakeVehicle:
+    vehicle_id: int
+
+
+@dataclass
+class FakeAgent:
+    vehicle: FakeVehicle
+
+
+@dataclass
+class FakeRequest:
+    origin: int
+
+
+@dataclass
+class FakeMatrix:
+    """Just enough of :class:`repro.dispatch.costs.CostMatrix`."""
+
+    requests: list = field(default_factory=list)
+    agents: list = field(default_factory=list)
+    keys: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+    @property
+    def shape(self):
+        return self.keys.shape
+
+
+def make_grid(size=4000.0, cell=1000.0) -> GridIndex:
+    return GridIndex(BoundingBox(0.0, 0.0, size, size), cell_meters=cell)
+
+
+def scenario(num_requests=8, num_vehicles=6, seed=0):
+    """Requests in the four grid quadrants, vehicles scattered, all
+    pairs feasible. Vertex v sits at coords[v]."""
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(0.0, 4000.0, size=(64, 2))
+    grid = make_grid()
+    requests = [FakeRequest(origin=i) for i in range(num_requests)]
+    agents = [FakeAgent(FakeVehicle(v)) for v in range(num_vehicles)]
+    for v, agent in enumerate(agents):
+        x, y = coords[32 + v]
+        grid.update(agent.vehicle.vehicle_id, float(x), float(y))
+    keys = rng.uniform(1.0, 10.0, size=(num_requests, num_vehicles))
+    return FakeMatrix(requests, agents, keys), grid, coords
+
+
+def test_single_shard_covers_everything():
+    matrix, grid, coords = scenario()
+    plan = ShardPartitioner(1).plan(matrix, grid_index=grid, coords=coords)
+    assert plan.num_shards == 1
+    (shard,) = plan.shards
+    assert shard.rows == tuple(range(matrix.shape[0]))
+    assert shard.cols == tuple(range(matrix.shape[1]))
+    assert plan.fallback_reason is None
+
+
+@pytest.mark.parametrize(
+    "grid,coords,reason",
+    [
+        (None, np.zeros((4, 2)), "no grid index"),
+        (make_grid(), None, "graph has no coordinates"),
+    ],
+)
+def test_fallback_to_one_shard(grid, coords, reason):
+    matrix, real_grid, real_coords = scenario()
+    plan = ShardPartitioner(4).plan(matrix, grid_index=grid, coords=coords)
+    assert plan.num_shards == 1
+    assert plan.fallback_reason == reason
+    assert plan.shards[0].rows == tuple(range(matrix.shape[0]))
+
+
+def test_rows_partitioned_exactly_once():
+    matrix, grid, coords = scenario(num_requests=20, seed=3)
+    plan = ShardPartitioner(4).plan(matrix, grid_index=grid, coords=coords)
+    assert 1 < plan.num_shards <= 4
+    seen = sorted(r for s in plan.shards for r in s.rows)
+    assert seen == list(range(20))
+    for shard in plan.shards:
+        assert shard.rows == tuple(sorted(shard.rows))
+        assert shard.cols == tuple(sorted(shard.cols))
+
+
+def test_never_more_shards_than_occupied_cells():
+    """All requests in one cell -> one shard no matter how many asked."""
+    matrix, grid, _ = scenario(num_requests=5)
+    coords = np.full((64, 2), 100.0)  # every origin in cell (0, 0)
+    plan = ShardPartitioner(8).plan(matrix, grid_index=grid, coords=coords)
+    assert plan.num_shards == 1
+    assert plan.shards[0].cells == {(0, 0)}
+
+
+def test_balancing_is_deterministic_and_even():
+    matrix, grid, coords = scenario(num_requests=30, seed=5)
+    p = ShardPartitioner(3)
+    plan_a = p.plan(matrix, grid_index=grid, coords=coords)
+    plan_b = ShardPartitioner(3).plan(matrix, grid_index=grid, coords=coords)
+    assert [s.rows for s in plan_a.shards] == [s.rows for s in plan_b.shards]
+    loads = [len(s.rows) for s in plan_a.shards]
+    # Greedy heaviest-first balancing keeps the spread below the whole
+    # batch landing on one shard.
+    assert max(loads) < 30
+
+
+def test_columns_are_feasible_union():
+    """Without a halo, a shard's columns are exactly the vehicles with a
+    finite key for at least one of its rows."""
+    matrix, grid, coords = scenario(num_requests=10, num_vehicles=6, seed=2)
+    matrix.keys[:, 4] = np.inf  # vehicle 4 infeasible everywhere
+    plan = ShardPartitioner(3).plan(matrix, grid_index=grid, coords=coords)
+    for shard in plan.shards:
+        expected = np.nonzero(
+            np.isfinite(matrix.keys[list(shard.rows)]).any(axis=0)
+        )[0]
+        assert shard.cols == tuple(int(c) for c in expected)
+        assert 4 not in shard.cols
+
+
+def test_boundary_halo_filters_far_vehicles():
+    """With a 0-cell halo, only vehicles reported inside the shard's own
+    cells survive; unreported vehicles always stay eligible."""
+    grid = make_grid()
+    coords = np.array([[500.0, 500.0], [3500.0, 3500.0]])
+    requests = [FakeRequest(0), FakeRequest(1)]
+    agents = [FakeAgent(FakeVehicle(v)) for v in range(3)]
+    grid.update(0, 500.0, 500.0)     # cell (0,0), near request 0
+    grid.update(1, 3500.0, 3500.0)   # cell (3,3), near request 1
+    # vehicle 2 never reports: eligible everywhere.
+    keys = np.ones((2, 3))
+    matrix = FakeMatrix(requests, agents, keys)
+
+    plan = ShardPartitioner(2, boundary_cells=0).plan(
+        matrix, grid_index=grid, coords=coords
+    )
+    assert plan.num_shards == 2
+    by_rows = {shard.rows: shard for shard in plan.shards}
+    near = by_rows[(0,)]
+    far = by_rows[(1,)]
+    assert near.cols == (0, 2)
+    assert far.cols == (1, 2)
+
+    # A halo wide enough to span the grid keeps everything.
+    plan_wide = ShardPartitioner(2, boundary_cells=4).plan(
+        matrix, grid_index=grid, coords=coords
+    )
+    for shard in plan_wide.shards:
+        assert shard.cols == (0, 1, 2)
+
+
+def test_balance_yields_exact_shard_count_with_skewed_loads():
+    """Skewed cell loads must not collapse shards: with at least as many
+    occupied cells as requested shards, the plan has exactly
+    ``num_shards`` non-empty shards (one heavy cell can't swallow the
+    fair-share cut for its neighbors)."""
+    grid = make_grid()
+    # Serpentine cells (0,0), (0,1), (0,2), (0,3) with loads 1, 1, 1, 10.
+    points = [(500.0, 500.0), (1500.0, 500.0), (2500.0, 500.0)]
+    points += [(3500.0, 500.0)] * 10
+    coords = np.array(points)
+    requests = [FakeRequest(i) for i in range(len(points))]
+    agents = [FakeAgent(FakeVehicle(0))]
+    matrix = FakeMatrix(requests, agents, np.ones((len(points), 1)))
+    plan = ShardPartitioner(4).plan(matrix, grid_index=grid, coords=coords)
+    assert plan.num_shards == 4
+    assert sorted(len(s.rows) for s in plan.shards) == [1, 1, 1, 10]
+    # And with the skew up front instead.
+    coords_rev = np.array(points[::-1])
+    plan_rev = ShardPartitioner(4).plan(
+        matrix, grid_index=grid, coords=coords_rev
+    )
+    assert plan_rev.num_shards == 4
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        ShardPartitioner(0)
+    with pytest.raises(ValueError):
+        ShardPartitioner(2, boundary_cells=-1)

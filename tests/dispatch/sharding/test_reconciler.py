@@ -1,0 +1,79 @@
+"""BoundaryReconciler: conflict-free merge of per-shard proposals."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.sharding import BoundaryReconciler
+
+
+@pytest.fixture
+def reconciler():
+    return BoundaryReconciler()
+
+
+def test_no_conflicts_passthrough(reconciler):
+    keys = np.arange(12.0).reshape(3, 4)
+    proposals = [[(0, 1), (1, 2)], [(2, 3)]]
+    outcome = reconciler.reconcile(keys, proposals)
+    assert outcome.pairs == [(0, 1), (1, 2), (2, 3)]
+    assert outcome.boundary_conflicts == 0
+    assert outcome.conflict_rows == ()
+
+
+def test_contested_vehicle_goes_to_cheaper_request(reconciler):
+    # Both shards claim column 0; row 1 is cheaper there and row 0 has a
+    # decent fallback in column 1 -> both stay matched.
+    keys = np.array([[5.0, 6.0], [1.0, np.inf]])
+    outcome = reconciler.reconcile(keys, [[(0, 0)], [(1, 0)]])
+    assert outcome.pairs == [(0, 1), (1, 0)]
+    assert outcome.boundary_conflicts == 1
+    assert outcome.conflict_rows == (0, 1)
+
+
+def test_loser_without_alternative_stays_unmatched(reconciler):
+    keys = np.array([[2.0], [1.0]])
+    outcome = reconciler.reconcile(keys, [[(0, 0)], [(1, 0)]])
+    assert outcome.pairs == [(1, 0)]
+    assert outcome.boundary_conflicts == 1
+
+
+def test_second_stage_minimizes_total_cost(reconciler):
+    # Giving the contested column 0 to row 0 (cost 1) forces row 1 onto
+    # column 1 (cost 1): total 2. The greedy per-row alternative (row 1
+    # keeps 0 at cost 2, row 0 falls to 1 at cost 10) would cost 12.
+    keys = np.array([[1.0, 10.0], [2.0, 1.0]])
+    outcome = reconciler.reconcile(keys, [[(0, 0)], [(1, 0)]])
+    assert outcome.pairs == [(0, 0), (1, 1)]
+
+
+def test_unclaimed_columns_are_available_to_losers(reconciler):
+    # Column 2 was claimed by nobody; the conflict loser picks it up
+    # instead of being dropped ("no feasible boundary match is lost").
+    keys = np.array(
+        [[1.0, np.inf, 4.0], [1.5, np.inf, 2.0], [np.inf, 2.0, np.inf]]
+    )
+    proposals = [[(0, 0)], [(1, 0)], [(2, 1)]]
+    outcome = reconciler.reconcile(keys, proposals)
+    assert outcome.pairs == [(0, 0), (1, 2), (2, 1)]
+    assert outcome.boundary_conflicts == 1
+
+
+def test_accepted_columns_are_off_limits_in_stage_two(reconciler):
+    # Row 2's uncontested win of column 1 must survive even though a
+    # conflict loser would love that column.
+    keys = np.array([[1.0, 1.0], [1.1, np.inf], [np.inf, 5.0]])
+    proposals = [[(0, 0)], [(1, 0)], [(2, 1)]]
+    outcome = reconciler.reconcile(keys, proposals)
+    assert (2, 1) in outcome.pairs
+    # One of rows 0/1 gets column 0; the other has no remaining option.
+    assert len(outcome.pairs) == 2
+
+
+def test_deterministic(reconciler):
+    rng = np.random.default_rng(4)
+    keys = rng.uniform(0, 10, size=(6, 5))
+    proposals = [[(0, 2), (1, 0)], [(2, 2), (3, 4)], [(4, 0), (5, 1)]]
+    first = reconciler.reconcile(keys, proposals)
+    second = BoundaryReconciler().reconcile(keys.copy(), proposals)
+    assert first.pairs == second.pairs
+    assert first.boundary_conflicts == second.boundary_conflicts == 2

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.dispatch.solver import assignment_cost, solve_assignment
+from repro.exceptions import AssignmentInfeasibleError, ReproError
 
 
 def brute_force_best(costs: np.ndarray) -> tuple[int, float]:
@@ -94,3 +95,67 @@ def test_deterministic():
     rng = np.random.default_rng(11)
     costs = rng.uniform(0, 10, size=(6, 6))
     assert solve_assignment(costs) == solve_assignment(costs.copy())
+
+
+# ----------------------------------------------------------------------
+# Rectangular edge cases and typed infeasibility errors
+# ----------------------------------------------------------------------
+def test_tall_matrix_with_infeasible_column_rows_compete():
+    """rows > cols with infeasibility: only the cheapest rows per column
+    survive, and no row is ever silently paired to an inf cell."""
+    costs = np.array(
+        [[3.0, np.inf], [1.0, np.inf], [np.inf, 7.0], [2.0, 5.0]]
+    )
+    pairs = solve_assignment(costs)
+    # Exact optimum: row 1 takes col 0 (1.0); col 1 goes to the cheaper
+    # of rows 2 (7.0) and 3 (5.0) -> row 3.
+    assert pairs == [(1, 0), (3, 1)]
+    assert assignment_cost(costs, pairs) == pytest.approx(6.0)
+
+
+def test_single_row_is_argmin_over_finite_cells():
+    costs = np.array([[np.inf, 4.0, np.inf, 2.0, 9.0]])
+    assert solve_assignment(costs) == [(0, 3)]
+
+
+def test_single_row_all_infeasible():
+    assert solve_assignment(np.array([[np.inf, np.nan, np.inf]])) == []
+
+
+def test_require_assignment_raises_typed_error_on_all_infeasible():
+    with pytest.raises(AssignmentInfeasibleError) as excinfo:
+        solve_assignment(np.full((3, 2), np.inf), require_assignment=True)
+    assert excinfo.value.rows == (0, 1, 2)
+    # Part of the library hierarchy, catchable as ReproError.
+    assert isinstance(excinfo.value, ReproError)
+
+
+def test_require_assignment_names_only_unmatched_rows():
+    costs = np.array([[1.0, 2.0], [np.inf, np.inf], [3.0, np.inf]])
+    with pytest.raises(AssignmentInfeasibleError) as excinfo:
+        solve_assignment(costs, require_assignment=True)
+    assert excinfo.value.rows == (1,)
+    assert "1" in str(excinfo.value)
+
+
+def test_require_assignment_raises_when_rows_exceed_columns():
+    # All-feasible but more rows than columns: someone must lose.
+    costs = np.ones((3, 2))
+    with pytest.raises(AssignmentInfeasibleError) as excinfo:
+        solve_assignment(costs, require_assignment=True)
+    assert len(excinfo.value.rows) == 1
+
+
+def test_require_assignment_passes_when_complete():
+    costs = np.array([[1.0, 5.0], [5.0, 1.0]])
+    assert solve_assignment(costs, require_assignment=True) == [
+        (0, 0),
+        (1, 1),
+    ]
+
+
+def test_assignment_cost_raises_on_infeasible_pair():
+    costs = np.array([[1.0, np.inf]])
+    with pytest.raises(AssignmentInfeasibleError) as excinfo:
+        assignment_cost(costs, [(0, 1)])
+    assert excinfo.value.rows == (0,)

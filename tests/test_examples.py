@@ -48,6 +48,17 @@ def test_batched_dispatch_small():
     assert "batched dispatch" in out  # the report's batching section
 
 
+def test_sharded_dispatch_small():
+    out = run_example(
+        "sharded_dispatch.py", "--vehicles", "6", "--hours", "0.3",
+        "--shards", "3",
+    )
+    assert "service-guarantee audit" in out
+    assert "sharded x3" in out
+    assert "sharded dispatch" in out  # the report's shard section
+    assert "boundary_conflicts" in out
+
+
 @pytest.mark.slow
 def test_airport_hotspot():
     out = run_example("airport_hotspot.py", timeout=600.0)
