@@ -92,6 +92,12 @@ def test_batched_distance_plane(benchmark):
     assert os.path.exists(out_path)
     assert set(result["engines"]) == set(micro.ENGINE_KINDS)
     assert result["engines"]["dijkstra"]["speedup"] >= 5.0
+    # The batched plane's cache effectiveness ships with the artifact:
+    # the Dijkstra engine reports its SourceRowCache hit/miss counters.
+    cache = result["engines"]["dijkstra"]["cache_stats"]
+    for key in ("row_hits", "row_misses", "row_hit_rate"):
+        assert key in cache
+    assert cache["row_misses"] > 0  # every fresh fan-out source misses once
 
 
 def test_grid_index_query(benchmark, city):

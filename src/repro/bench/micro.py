@@ -99,7 +99,8 @@ def run_micro(
         # Fresh engines per plane: neither measurement may inherit the
         # other's warm caches.
         scalar_seconds = _time_scalar(make_engine(city, kind), workload)
-        batched_seconds = _time_batched(make_engine(city, kind), workload)
+        batched_engine = make_engine(city, kind)
+        batched_seconds = _time_batched(batched_engine, workload)
         scalar_qps = total_queries / scalar_seconds if scalar_seconds else 0.0
         batched_qps = total_queries / batched_seconds if batched_seconds else 0.0
         engines[kind] = {
@@ -109,6 +110,18 @@ def run_micro(
             "batched_queries_per_sec": batched_qps,
             "speedup": (batched_qps / scalar_qps) if scalar_qps else 0.0,
         }
+        # Cache effectiveness of the batched plane, for engines that
+        # report any — the Dijkstra engine's SourceRowCache hit/miss
+        # counters (row_hits / row_misses / row_hit_rate) are the
+        # trajectory to watch: the row cache is what turns consecutive
+        # fan-outs from one decision point into dictionary lookups.
+        stats = getattr(batched_engine, "stats", None)
+        if stats is not None:
+            engines[kind]["cache_stats"] = {
+                key: value
+                for key, value in stats().items()
+                if not key.endswith("entries") and not key.endswith("cells")
+            }
 
     result = {
         "benchmark": "distance_plane_fan_out",
@@ -133,14 +146,19 @@ def render(result: dict) -> str:
     """Fixed-width table of one :func:`run_micro` document."""
     lines = [
         "== micro_batched: scalar vs batched distance plane (queries/s) ==",
-        f"{'engine':10s} | {'scalar_qps':>12s} | {'batched_qps':>12s} | {'speedup':>7s}",
-        "-" * 52,
+        f"{'engine':10s} | {'scalar_qps':>12s} | {'batched_qps':>12s} | "
+        f"{'speedup':>7s} | {'row_hit_rate':>12s}",
+        "-" * 67,
     ]
     for kind, row in result["engines"].items():
+        cache = row.get("cache_stats", {})
+        row_rate = (
+            f"{cache['row_hit_rate']:.3f}" if "row_hit_rate" in cache else "-"
+        )
         lines.append(
             f"{kind:10s} | {row['scalar_queries_per_sec']:>12,.0f} | "
             f"{row['batched_queries_per_sec']:>12,.0f} | "
-            f"{row['speedup']:>6.1f}x"
+            f"{row['speedup']:>6.1f}x | {row_rate:>12s}"
         )
     w = result["workload"]
     lines.append(

@@ -1,0 +1,235 @@
+"""Staged-pipeline overlap benchmark (``BENCH_pipeline.json``).
+
+Runs one simulation workload — a large city, long trips, a flush's
+worth of requests per 20 s window — through three dispatch
+configurations that differ only in the quote stage:
+
+* ``sync`` — ``quote_workers=0``, zero overlap window: the
+  pre-pipeline order (quote, solve and commit as one blob at the
+  flush instant);
+* ``deferred`` — ``quote_workers=0`` with an overlap window: pipeline
+  event timing, but quoting still runs synchronously at the solve
+  instant (the determinism reference for the async run);
+* ``async_thread`` — thread-backend quote workers: per-vehicle column
+  quotes compute while the simulator keeps executing the overlap
+  window's stop events, request arrivals and location reports.
+
+Two properties are recorded per run and gated by
+``benchmarks/test_pipeline_overlap.py``:
+
+* the async run's assignments are *identical* to the deferred run's —
+  staleness epochs + deterministic re-quotes make worker timing
+  invisible;
+* on the thread backend a meaningful fraction (>= 30 %) of quote wall
+  time overlaps event execution — the async pipeline genuinely hides
+  quoting behind the simulation instead of serializing it.
+
+Run from the shell::
+
+    PYTHONPATH=src python -m repro.bench.pipeline            # full run
+    PYTHONPATH=src python -m repro.bench.pipeline --fast     # CI smoke
+    PYTHONPATH=src python -m repro.bench.pipeline --out path/to.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core.constraints import ConstraintConfig
+from repro.roadnet.engine import make_engine
+from repro.roadnet.generators import grid_city
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.workload import ShanghaiLikeWorkload
+
+#: Default output file name, written to the current working directory
+#: (the repo root under both the CI smoke step and the benchmark suite).
+DEFAULT_OUT = "BENCH_pipeline.json"
+
+
+def _deterministic_state(report) -> dict:
+    """Everything a run produces except wall-clock timings."""
+    return {
+        "num_requests": report.num_requests,
+        "num_assigned": report.num_assigned,
+        "total_cost": report.total_assignment_cost,
+        "service_log": {
+            rid: (
+                entry.get("vehicle"),
+                entry.get("assigned_cost"),
+                entry.get("pickup"),
+                entry.get("dropoff"),
+            )
+            for rid, entry in report.service_log.items()
+        },
+    }
+
+
+def run_pipeline_bench(
+    out_path: str | None = DEFAULT_OUT,
+    grid_side: int = 48,
+    num_vehicles: int = 30,
+    num_trips: int = 500,
+    duration_s: float = 1200.0,
+    min_trip_meters: float = 4000.0,
+    wait_minutes: float = 4.0,
+    batch_window_s: float = 20.0,
+    quote_overlap_s: float = 18.0,
+    quote_workers: int = 2,
+    report_interval: float = 5.0,
+    engine_kind: str = "dijkstra",
+    seed: int = 7,
+) -> dict:
+    """Benchmark the staged pipeline's quote/event overlap; return (and
+    optionally write) the result document.
+
+    The workload is deliberately shaped so the simulator has real event
+    work to execute inside the overlap window: a big city makes each
+    arrival's ``make_request`` shortest-path stamp expensive, long trips
+    keep those searches wide, and a dense location-report interval adds
+    steady cruise bookkeeping — while tight wait budgets keep quote
+    fan-outs local. That is the regime async quoting targets.
+    """
+    city = grid_city(grid_side, grid_side, seed=seed)
+    trips = ShanghaiLikeWorkload(
+        city, seed=seed, min_trip_meters=min_trip_meters
+    ).generate(num_trips=num_trips, duration_seconds=duration_s)
+    constraints = ConstraintConfig.from_minutes(wait_minutes, 20.0)
+
+    cells = {
+        "sync": {"quote_workers": 0, "quote_overlap_s": 0.0},
+        "deferred": {"quote_workers": 0, "quote_overlap_s": quote_overlap_s},
+        "async_thread": {
+            "quote_workers": quote_workers,
+            "quote_backend": "thread",
+            "quote_overlap_s": quote_overlap_s,
+        },
+    }
+    runs: dict[str, dict] = {}
+    states: dict[str, dict] = {}
+    for label, overrides in cells.items():
+        # Fresh engine per cell: no run may inherit another's warm caches.
+        engine = make_engine(city, engine_kind)
+        config = SimulationConfig(
+            num_vehicles=num_vehicles,
+            algorithm="kinetic",
+            constraints=constraints,
+            report_interval=report_interval,
+            engine_kind=engine_kind,
+            dispatch_policy="lap",
+            batch_window_s=batch_window_s,
+            seed=seed,
+            **overrides,
+        )
+        report = simulate(engine, config, trips)
+        summary = report.summary()
+        states[label] = _deterministic_state(report)
+        runs[label] = {
+            "wall_seconds": report.wall_seconds,
+            "quote_ms_mean": summary["quote_ms_mean"],
+            "overlap_ratio_mean": summary["overlap_ratio_mean"],
+            "staleness_requotes": summary["staleness_requotes"],
+            "quote_failures": summary["quote_failures"],
+            "pipeline_flushes": summary["pipeline_flushes"],
+            "service_rate": summary["service_rate"],
+            "assigned": summary["assigned"],
+            "guarantee_violations": len(report.verify_service_guarantees()),
+        }
+    runs["async_thread"]["matches_deferred"] = (
+        states["async_thread"] == states["deferred"]
+    )
+    runs["deferred"]["matches_sync"] = states["deferred"] == states["sync"]
+
+    result = {
+        "benchmark": "pipeline_overlap",
+        "workload": {
+            "grid_side": grid_side,
+            "num_vertices": city.num_vertices,
+            "num_vehicles": num_vehicles,
+            "num_trips": len(trips),
+            "duration_s": duration_s,
+            "min_trip_meters": min_trip_meters,
+            "wait_minutes": wait_minutes,
+            "batch_window_s": batch_window_s,
+            "quote_overlap_s": quote_overlap_s,
+            "quote_workers": quote_workers,
+            "report_interval": report_interval,
+            "engine_kind": engine_kind,
+            "seed": seed,
+        },
+        "runs": runs,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return result
+
+
+def render(result: dict) -> str:
+    """Fixed-width table of one :func:`run_pipeline_bench` document."""
+    w = result["workload"]
+    lines = [
+        "== pipeline_overlap: quote stage vs event execution ==",
+        f"{'run':13s} | {'wall_s':>7s} | {'quote_ms':>9s} | "
+        f"{'overlap':>7s} | {'requotes':>8s} | {'assigned':>8s}",
+        "-" * 66,
+    ]
+    for label, cell in result["runs"].items():
+        lines.append(
+            f"{label:13s} | {cell['wall_seconds']:>7.2f} | "
+            f"{cell['quote_ms_mean']:>9.3f} | "
+            f"{cell['overlap_ratio_mean']:>6.1%} | "
+            f"{cell['staleness_requotes']:>8d} | "
+            f"{cell['assigned']:>8d}"
+        )
+    match = result["runs"]["async_thread"].get("matches_deferred")
+    lines.append(
+        f"note: {w['num_trips']} trips, {w['num_vehicles']} vehicles on a "
+        f"{w['grid_side']}x{w['grid_side']} {w['engine_kind']} city; "
+        f"window {w['batch_window_s']:g}s, overlap {w['quote_overlap_s']:g}s; "
+        f"async assignments identical to deferred: "
+        f"{'yes' if match else 'NO'}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.pipeline",
+        description="Measure quote/event overlap of the staged pipeline.",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help=f"output JSON path (default ./{DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="CI smoke mode: smaller city and fewer trips (no overlap "
+        "floor is asserted at this scale — the determinism columns are "
+        "the smoke signal)",
+    )
+    args = parser.parse_args(argv)
+    if args.fast:
+        result = run_pipeline_bench(
+            out_path=args.out,
+            grid_side=24,
+            num_vehicles=14,
+            num_trips=150,
+            duration_s=900.0,
+            min_trip_meters=2000.0,
+        )
+    else:
+        result = run_pipeline_bench(out_path=args.out)
+    print(render(result))
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,12 @@ class VehicleAgent(abc.ABC):
     def __init__(self, vehicle: Vehicle, engine):
         self.vehicle = vehicle
         self.engine = engine
+        #: Staleness epoch: bumped on every schedule mutation (commit,
+        #: stop arrival). A quote captured together with the epoch it was
+        #: computed under can be re-validated at commit time — any bump in
+        #: between means the quote's payload references schedule state
+        #: that no longer exists (see :mod:`repro.dispatch.quoting`).
+        self.schedule_epoch = 0
 
     # -- scheduling ----------------------------------------------------
     @abc.abstractmethod
@@ -87,14 +93,42 @@ class VehicleAgent(abc.ABC):
         self, requests: Sequence[TripRequest], now: float
     ) -> list["Quote | None"]:
         """Quote several requests from one decision point (batched
-        dispatch). Subclasses override to compute the per-vehicle setup
-        (decision point, path prefixes) once instead of per request; the
-        fallback just quotes sequentially."""
+        dispatch). The concrete agent families resolve the decision
+        point once and delegate to :meth:`quote_batch_at`; the fallback
+        just quotes sequentially."""
         return [self.quote(request, now) for request in requests]
+
+    def quote_batch_at(
+        self, requests: Sequence[TripRequest], vertex: int, t: float
+    ) -> list["Quote | None"]:
+        """Quote several requests from a pre-resolved decision point.
+
+        The split from :meth:`quote_batch` exists for the async quoting
+        pipeline (:mod:`repro.dispatch.quoting`): the simulator resolves
+        every candidate's decision point on the main thread
+        (decision-point resolution mutates the vehicle's lazy cruise
+        waypoints), then fans the pure scheduling work — which only
+        reads the agent's committed schedule and the engine — out to
+        worker threads. Subclasses override to compute the per-vehicle
+        setup (path prefixes, batched fan-outs) once instead of per
+        request; the fallback just quotes sequentially.
+        """
+        return [self._quote_at(request, vertex, t) for request in requests]
+
+    def _quote_at(
+        self, request: TripRequest, vertex: int, t: float
+    ) -> Quote | None:
+        """One quote from a pre-resolved decision point.
+
+        Hook for the concrete agent families; the fallback lets agents
+        that only implement :meth:`quote` (scripted test agents) still
+        satisfy the batched planes by quoting at the decision time."""
+        return self.quote(request, t)
 
     @abc.abstractmethod
     def commit(self, quote: Quote) -> None:
-        """Adopt a previously returned quote (the request is won)."""
+        """Adopt a previously returned quote (the request is won).
+        Implementations must bump :attr:`schedule_epoch`."""
 
     @abc.abstractmethod
     def next_stop(self) -> tuple[float, tuple[Stop, ...]] | None:
@@ -200,10 +234,15 @@ class KineticAgent(VehicleAgent):
     def quote_batch(
         self, requests: Sequence[TripRequest], now: float
     ) -> list[Quote | None]:
+        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        return self.quote_batch_at(requests, vertex, t)
+
+    def quote_batch_at(
+        self, requests: Sequence[TripRequest], vertex: int, t: float
+    ) -> list[Quote | None]:
         """Trial-insert every request from one shared decision point.
 
-        The vehicle's position is resolved once, and the whole batch's
-        pickup fan-out goes through one cutoff-aware
+        The whole batch's pickup fan-out goes through one cutoff-aware
         :func:`~repro.roadnet.engine.fan_out_distances` call, which
         (a) pre-warms the engine's row/pair caches (where it has any)
         for the trial insertions that follow, and (b) screens out
@@ -214,7 +253,6 @@ class KineticAgent(VehicleAgent):
         the exact same :class:`KineticTree` check and ``try_insert``
         would return ``None`` anyway.
         """
-        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
         reach = fan_out_distances(
             self.engine, vertex, [request.origin for request in requests]
         )
@@ -229,6 +267,7 @@ class KineticAgent(VehicleAgent):
     def commit(self, quote: Quote) -> None:
         trial: KineticTrial = quote.payload
         self.tree.commit(trial)
+        self.schedule_epoch += 1
         stops: list[Stop] = []
         for node in self.tree.committed:
             stops.extend(node.stops)
@@ -244,6 +283,7 @@ class KineticAgent(VehicleAgent):
 
     def arrive_next(self) -> list[tuple[float, Stop]]:
         node = self.tree.advance()
+        self.schedule_epoch += 1
         return list(zip(node.arrivals, node.stops))
 
     @property
@@ -306,13 +346,18 @@ class RescheduleAgent(VehicleAgent):
     def quote_batch(
         self, requests: Sequence[TripRequest], now: float
     ) -> list[Quote | None]:
+        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
+        return self.quote_batch_at(requests, vertex, t)
+
+    def quote_batch_at(
+        self, requests: Sequence[TripRequest], vertex: int, t: float
+    ) -> list[Quote | None]:
         """Re-solve once per request from one shared decision point; the
         (onboard, pending) base problem is identical across the batch.
         On engines advertising ``batch_prefetch`` (Dijkstra's row/pair
         caches), one ``distance_many`` fan-out to every pickup pre-warms
         them for the per-request solves; cacheless engines skip the
         prefetch — its result would be discarded work."""
-        vertex, t = self.vehicle.decision_point(now, self.engine.graph)
         if getattr(self.engine, "batch_prefetch", False):
             self.engine.distance_many(
                 vertex, [request.origin for request in requests]
@@ -321,6 +366,7 @@ class RescheduleAgent(VehicleAgent):
 
     def commit(self, quote: Quote) -> None:
         result: ScheduleResult = quote.payload
+        self.schedule_epoch += 1
         self.pending.append(quote.request)
         self.committed_stops = list(result.stops)
         self.committed_arrivals = list(result.arrivals)
@@ -338,6 +384,7 @@ class RescheduleAgent(VehicleAgent):
     def arrive_next(self) -> list[tuple[float, Stop]]:
         if not self.committed_stops:
             raise SimulationError("no committed stop to arrive at")
+        self.schedule_epoch += 1
         stop = self.committed_stops.pop(0)
         arrival = self.committed_arrivals.pop(0)
         if stop.is_pickup:

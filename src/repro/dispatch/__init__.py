@@ -1,28 +1,52 @@
-"""Batched dispatch: rolling-horizon windows + global assignment.
+"""Batched dispatch: a staged quote -> solve -> commit pipeline.
 
 The layer between the request stream and the vehicle agents. Immediate
 dispatch (the paper's Section VI) is the degenerate case of a zero-length
 window under the ``greedy`` policy; with a positive ``batch_window_s``
-the simulator accumulates requests in a :class:`BatchWindow`, and on each
-periodic ``BATCH_DISPATCH`` event a :class:`BatchDispatcher` matches the
-whole batch through a pluggable :class:`DispatchPolicy`:
+the simulator accumulates requests in a :class:`BatchWindow` and runs
+each flush through an explicit three-stage pipeline:
 
-* :class:`GreedyPolicy` — paper-equivalent sequential cheapest-quote;
-* :class:`LapPolicy` — one optimal request x vehicle linear assignment
-  (pure-numpy Hungarian solver, :func:`solve_assignment`);
-* :class:`IterativePolicy` — repeated assignment rounds re-quoting
-  unassigned requests against updated schedules;
-* :class:`ShardedPolicy` — ``lap`` with the global solve federated over
-  grid-region shards (:mod:`repro.dispatch.sharding`): concurrent
-  per-shard Hungarian solves plus deterministic boundary
-  reconciliation; ``shards=1`` is bit-identical to ``lap``.
+* **quote** — a :class:`QuoteService` builds the batch's per-vehicle
+  :class:`CostMatrix` columns (:func:`plan_columns` ->
+  :func:`quote_column` -> :func:`assemble_matrix`), either synchronously
+  or on a worker pool while the simulator keeps executing stop events
+  (async quoting; see :mod:`repro.dispatch.quoting`). Every schedule
+  mutation bumps the owning agent's ``schedule_epoch``, so quotes that
+  went stale between quote and commit are detected and re-quoted
+  deterministically at collect time.
+* **solve** — a pluggable :class:`DispatchPolicy` consumes the completed
+  :class:`QuoteSet`:
 
-Cost matrices are built per vehicle (:func:`build_cost_matrix`), so a
-vehicle quoting many requests computes its decision point once and reuses
-its shortest-path locality across the batch.
+  * :class:`GreedyPolicy` — paper-equivalent sequential cheapest-quote
+    (quotes inline; no matrix);
+  * :class:`LapPolicy` — one optimal request x vehicle linear assignment
+    (pure-numpy Hungarian solver, :func:`solve_assignment`);
+  * :class:`IterativePolicy` — repeated assignment rounds re-quoting
+    unassigned requests against updated schedules;
+  * :class:`ShardedPolicy` — ``lap`` with the global solve federated over
+    grid-region shards (:mod:`repro.dispatch.sharding`): concurrent
+    per-shard Hungarian solves plus deterministic boundary
+    reconciliation; ``shards=1`` is bit-identical to ``lap``.
+
+* **commit** — winning quotes are adopted by their vehicles; the
+  simulator schedules fresh stop events for the winners.
+
+Cost matrices are built per vehicle, so a vehicle quoting many requests
+computes its decision point once and reuses its shortest-path locality
+across the batch. With ``quote_workers=0`` the pipeline defers all
+quoting to the solve instant and is bit-identical to the pre-pipeline
+synchronous order.
 """
 
-from repro.dispatch.costs import CostMatrix, build_cost_matrix
+from repro.dispatch.costs import (
+    ColumnPlan,
+    ColumnQuotes,
+    CostMatrix,
+    assemble_matrix,
+    build_cost_matrix,
+    plan_columns,
+    quote_column,
+)
 from repro.dispatch.dispatcher import BatchDispatcher
 from repro.dispatch.policies import (
     BatchResult,
@@ -34,12 +58,19 @@ from repro.dispatch.policies import (
     ShardedPolicy,
     make_policy,
 )
+from repro.dispatch.quoting import (
+    QUOTE_BACKENDS,
+    PendingQuotes,
+    QuoteService,
+    QuoteSet,
+)
 from repro.dispatch.sharding import (
     SHARD_BACKENDS,
     BoundaryReconciler,
     ShardExecutor,
     ShardPartitioner,
     ShardPlan,
+    WorkerPool,
     solve_sharded,
 )
 from repro.dispatch.solver import assignment_cost, solve_assignment
@@ -50,20 +81,30 @@ __all__ = [
     "BatchResult",
     "BatchWindow",
     "BoundaryReconciler",
+    "ColumnPlan",
+    "ColumnQuotes",
     "CostMatrix",
     "DispatchPolicy",
     "GreedyPolicy",
     "IterativePolicy",
     "LapPolicy",
     "POLICY_REGISTRY",
+    "PendingQuotes",
+    "QUOTE_BACKENDS",
+    "QuoteService",
+    "QuoteSet",
     "SHARD_BACKENDS",
     "ShardExecutor",
     "ShardPartitioner",
     "ShardPlan",
     "ShardedPolicy",
+    "WorkerPool",
+    "assemble_matrix",
     "assignment_cost",
     "build_cost_matrix",
     "make_policy",
+    "plan_columns",
+    "quote_column",
     "solve_sharded",
     "solve_assignment",
 ]

@@ -76,6 +76,125 @@ class CostMatrix:
         return [t for t in self.timings[row] if t is not None]
 
 
+@dataclass(slots=True)
+class ColumnPlan:
+    """The column layout of one batch's cost matrix, before quoting.
+
+    One plan per flush: the union of the per-request candidate sets,
+    ordered by vehicle id (so cost ties resolve to the lowest vehicle
+    id, like immediate dispatch), with the rows each vehicle must quote.
+    The quote stage — synchronous (:func:`build_cost_matrix`) or
+    asynchronous (:class:`~repro.dispatch.quoting.QuoteService`) — fills
+    one :class:`ColumnQuotes` per agent and hands both back to
+    :func:`assemble_matrix`.
+    """
+
+    requests: list[TripRequest]
+    agents: list[VehicleAgent]
+    rows_by_col: list[list[int]]
+    candidate_counts: list[int]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (len(self.requests), len(self.agents))
+
+
+@dataclass(slots=True)
+class ColumnQuotes:
+    """One vehicle's quoted column: quotes aligned with the plan's rows
+    for that column, the vehicle's active-trip count when quoting began
+    (the ART bucket key), the per-quote seconds, and the plan-cost
+    baseline under the ``"delta"`` objective (0 under ``"total"``)."""
+
+    quotes: list[Quote | None]
+    active_trips: int
+    per_quote_seconds: float
+    plan_cost: float
+
+
+def plan_columns(
+    dispatcher: Dispatcher, requests: list[TripRequest]
+) -> ColumnPlan:
+    """Candidate-filter a batch into a column plan (no quoting yet)."""
+    candidate_sets = [dispatcher.candidates(r) for r in requests]
+    agents_by_id: dict[int, VehicleAgent] = {}
+    rows_by_id: dict[int, list[int]] = {}
+    for row, cands in enumerate(candidate_sets):
+        for agent in cands:
+            vid = agent.vehicle.vehicle_id
+            agents_by_id.setdefault(vid, agent)
+            rows_by_id.setdefault(vid, []).append(row)
+    ordered_ids = sorted(agents_by_id)
+    return ColumnPlan(
+        requests=list(requests),
+        agents=[agents_by_id[vid] for vid in ordered_ids],
+        rows_by_col=[rows_by_id[vid] for vid in ordered_ids],
+        candidate_counts=[len(c) for c in candidate_sets],
+    )
+
+
+def quote_column(
+    agent: VehicleAgent,
+    requests: list[TripRequest],
+    now: float,
+    objective: str,
+    decision: tuple[int, float] | None = None,
+) -> ColumnQuotes:
+    """Quote one vehicle against its slice of the batch.
+
+    With ``decision`` (a pre-resolved ``(vertex, time)`` pair) the quote
+    goes through :meth:`~repro.core.matching.VehicleAgent.quote_batch_at`
+    — the async pipeline's form, where decision points were resolved on
+    the simulator thread; without it, through ``quote_batch`` exactly as
+    the synchronous path always has.
+    """
+    active = agent.num_active_trips
+    plan_cost = agent.current_plan_cost() if objective == "delta" else 0.0
+    t0 = _time.perf_counter()
+    if decision is None:
+        quotes = agent.quote_batch(requests, now)
+    else:
+        quotes = agent.quote_batch_at(requests, decision[0], decision[1])
+    per_quote = (_time.perf_counter() - t0) / len(requests)
+    return ColumnQuotes(
+        quotes=quotes,
+        active_trips=active,
+        per_quote_seconds=per_quote,
+        plan_cost=plan_cost,
+    )
+
+
+def assemble_matrix(
+    plan: ColumnPlan, columns: list[ColumnQuotes]
+) -> CostMatrix:
+    """Fold quoted columns (aligned with ``plan.agents``) into the
+    request x vehicle :class:`CostMatrix` the assignment policies solve
+    over, snapping keys to the :data:`KEY_EPSILON` grid."""
+    m, n = plan.shape
+    keys = np.full((m, n), np.inf)
+    quotes: list[list[Quote | None]] = [[None] * n for _ in range(m)]
+    timings: list[list[tuple[int, float] | None]] = [
+        [None] * n for _ in range(m)
+    ]
+    for col, quoted in enumerate(columns):
+        rows = plan.rows_by_col[col]
+        sample = (quoted.active_trips, quoted.per_quote_seconds)
+        for row, quote in zip(rows, quoted.quotes):
+            timings[row][col] = sample
+            if quote is None:
+                continue
+            quotes[row][col] = quote
+            keys[row, col] = snap_key(quote.cost - quoted.plan_cost)
+    return CostMatrix(
+        requests=plan.requests,
+        agents=plan.agents,
+        keys=keys,
+        quotes=quotes,
+        timings=timings,
+        candidate_counts=plan.candidate_counts,
+    )
+
+
 def build_cost_matrix(
     dispatcher: Dispatcher, requests: list[TripRequest], now: float
 ) -> CostMatrix:
@@ -89,47 +208,20 @@ def build_cost_matrix(
     almost always compare equal to the solver too (``quotes`` keep the
     exact costs — snapping only affects who wins, never the reported
     cost).
+
+    This is the synchronous composition of the three column stages
+    (:func:`plan_columns` -> :func:`quote_column` per vehicle ->
+    :func:`assemble_matrix`); the async pipeline runs the same stages
+    with the middle one fanned out to a worker pool.
     """
-    candidate_sets = [dispatcher.candidates(r) for r in requests]
-    agents_by_id: dict[int, VehicleAgent] = {}
-    rows_by_id: dict[int, list[int]] = {}
-    for row, cands in enumerate(candidate_sets):
-        for agent in cands:
-            vid = agent.vehicle.vehicle_id
-            agents_by_id.setdefault(vid, agent)
-            rows_by_id.setdefault(vid, []).append(row)
-    ordered_ids = sorted(agents_by_id)
-    agents = [agents_by_id[vid] for vid in ordered_ids]
-
-    m, n = len(requests), len(agents)
-    keys = np.full((m, n), np.inf)
-    quotes: list[list[Quote | None]] = [[None] * n for _ in range(m)]
-    timings: list[list[tuple[int, float] | None]] = [
-        [None] * n for _ in range(m)
-    ]
-
-    for col, vid in enumerate(ordered_ids):
-        agent = agents[col]
-        rows = rows_by_id[vid]
-        active = agent.num_active_trips
-        plan_cost = (
-            agent.current_plan_cost() if dispatcher.objective == "delta" else 0.0
+    plan = plan_columns(dispatcher, requests)
+    columns = [
+        quote_column(
+            agent,
+            [requests[i] for i in plan.rows_by_col[col]],
+            now,
+            dispatcher.objective,
         )
-        t0 = _time.perf_counter()
-        agent_quotes = agent.quote_batch([requests[i] for i in rows], now)
-        per_quote = (_time.perf_counter() - t0) / len(rows)
-        for row, quote in zip(rows, agent_quotes):
-            timings[row][col] = (active, per_quote)
-            if quote is None:
-                continue
-            quotes[row][col] = quote
-            keys[row, col] = snap_key(quote.cost - plan_cost)
-
-    return CostMatrix(
-        requests=list(requests),
-        agents=agents,
-        keys=keys,
-        quotes=quotes,
-        timings=timings,
-        candidate_counts=[len(c) for c in candidate_sets],
-    )
+        for col, agent in enumerate(plan.agents)
+    ]
+    return assemble_matrix(plan, columns)

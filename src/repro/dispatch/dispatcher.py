@@ -17,6 +17,7 @@ from typing import Sequence
 from repro.core.matching import Dispatcher
 from repro.core.request import TripRequest
 from repro.dispatch.policies import BatchResult, DispatchPolicy
+from repro.dispatch.quoting import QuoteSet
 
 
 class BatchDispatcher:
@@ -41,10 +42,20 @@ class BatchDispatcher:
         )
 
     def dispatch(
-        self, requests: Sequence[TripRequest], now: float
+        self,
+        requests: Sequence[TripRequest],
+        now: float,
+        quote_set: QuoteSet | None = None,
     ) -> BatchResult:
-        """Assign one batch at ``now``; winning quotes are committed."""
-        return self.policy.assign(self.dispatcher, list(requests), now)
+        """Assign one batch at ``now``; winning quotes are committed.
+
+        ``quote_set`` hands the policy a completed quote stage for this
+        exact batch (the staged pipeline's round-1 material); ``None``
+        means the policy quotes synchronously, as before the pipeline.
+        """
+        return self.policy.assign(
+            self.dispatcher, list(requests), now, quote_set=quote_set
+        )
 
     def __repr__(self) -> str:
         return f"BatchDispatcher(policy={self.policy!r})"

@@ -41,7 +41,7 @@ import numpy as np
 
 from repro.core.matching import AssignmentResult, Dispatcher
 from repro.core.request import TripRequest
-from repro.dispatch.costs import build_cost_matrix
+from repro.dispatch.quoting import QuoteService, QuoteSet
 from repro.dispatch.solver import solve_assignment
 
 
@@ -88,12 +88,27 @@ class DispatchPolicy(abc.ABC):
     #: Registry name; also what ``SimulationConfig.dispatch_policy`` takes.
     name: str = ""
 
+    #: Whether :meth:`assign` consumes a pre-built :class:`QuoteSet`
+    #: (the pipeline only runs the async quote stage for policies that
+    #: do — ``greedy`` quotes inline and would waste the workers).
+    uses_quote_set: bool = False
+
     @abc.abstractmethod
     def assign(
-        self, dispatcher: Dispatcher, requests: list[TripRequest], now: float
+        self,
+        dispatcher: Dispatcher,
+        requests: list[TripRequest],
+        now: float,
+        quote_set: QuoteSet | None = None,
     ) -> BatchResult:
         """Match ``requests`` (arrival order) against the fleet at ``now``,
-        committing every winning quote; returns one result per request."""
+        committing every winning quote; returns one result per request.
+
+        ``quote_set`` is the pipeline's completed quote stage for this
+        batch (``None`` = quote here, synchronously). Policies that
+        consume it must treat it as round-1 material only: later rounds
+        re-quote against schedules the earlier rounds just changed.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -109,7 +124,7 @@ class GreedyPolicy(DispatchPolicy):
 
     name = "greedy"
 
-    def assign(self, dispatcher, requests, now):
+    def assign(self, dispatcher, requests, now, quote_set=None):
         return BatchResult(
             results=[dispatcher.submit(r, now) for r in requests],
             solver_seconds=0.0,
@@ -118,12 +133,23 @@ class GreedyPolicy(DispatchPolicy):
 
 
 class _AssignmentRoundsPolicy(DispatchPolicy):
-    """Shared machinery for the linear-assignment policies."""
+    """Shared machinery for the linear-assignment policies.
+
+    Matrix construction lives in the shared quote service
+    (:class:`~repro.dispatch.quoting.QuoteService`): round 1 consumes
+    the pipeline's completed :class:`QuoteSet` when one is handed in,
+    and every other build (later rounds, round 1 without a pipeline)
+    goes through the policy's own synchronous service — the same three
+    column stages either way.
+    """
+
+    uses_quote_set = True
 
     def __init__(self, rounds: int = 1):
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = rounds
+        self.quote_service = QuoteService(workers=0)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rounds={self.rounds})"
@@ -136,8 +162,13 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         policy overrides this hook)."""
         return solve_assignment(matrix.keys), None
 
-    def assign(self, dispatcher, requests, now):
+    def assign(self, dispatcher, requests, now, quote_set=None):
         started = _time.perf_counter()
+        if quote_set is not None:
+            # Round 1's quoting already ran in the pipeline's quote
+            # stage; credit its wall time into the batch span so the
+            # per-request ACRT share keeps covering the full search.
+            started -= quote_set.quote_seconds
         solver_seconds = 0.0
         rounds_used = 0
         shard_sizes: list[int] = []
@@ -154,7 +185,12 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         }
         while pending and rounds_used < self.rounds:
             batch = [requests[i] for i in pending]
-            matrix = build_cost_matrix(dispatcher, batch, now)
+            if quote_set is not None and rounds_used == 0:
+                # Round 1 of a pipelined flush: the quote stage already
+                # ran (and repaired staleness) for exactly this batch.
+                matrix = quote_set.matrix
+            else:
+                matrix = self.quote_service.build(dispatcher, batch, now).matrix
             rounds_used += 1
             for row, i in enumerate(pending):
                 art_samples[i].extend(matrix.row_timings(row))

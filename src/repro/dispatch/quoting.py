@@ -1,0 +1,314 @@
+"""The quote stage of the staged dispatch pipeline.
+
+The batch path used to quote, solve and commit as one synchronous blob
+inside the ``BATCH_DISPATCH`` handler. This module is the refactor's
+first stage made explicit: a :class:`QuoteService` builds one batch's
+per-vehicle :class:`~repro.dispatch.costs.CostMatrix` columns — through
+the same :func:`~repro.dispatch.costs.plan_columns` /
+:func:`~repro.dispatch.costs.quote_column` /
+:func:`~repro.dispatch.costs.assemble_matrix` stages the synchronous
+:func:`~repro.dispatch.costs.build_cost_matrix` composes — either
+inline or on a worker pool (the sharding subsystem's
+:class:`~repro.dispatch.sharding.executor.WorkerPool`) while the
+simulator keeps executing stop events.
+
+Staleness-safe by construction
+------------------------------
+
+Async quotes are computed *for* the commit time ``now`` (the simulated
+time of the ``QUOTE_READY`` event) but *at* quote-issue wall time, so a
+vehicle can mutate its schedule — win a request, reach a stop, finish
+its plan and go idle — between quote and commit. Every schedule
+mutation bumps the agent's
+:attr:`~repro.core.matching.VehicleAgent.schedule_epoch`;
+:meth:`PendingQuotes.collect` compares each column's epoch against the
+value captured at quote issue and deterministically re-quotes exactly
+the stale columns on the simulator thread. A worker quote that raced a
+mutation mid-read can therefore only ever be *discarded* (its epoch
+check fails, or it raised and is repaired the same way) — torn reads
+never reach the solver. Because every surviving quote is value-equal to
+what a synchronous quote at commit time would have produced (schedules
+untouched since issue, decision points deterministic), the repaired
+:class:`QuoteSet` — and with it every downstream assignment — is
+bit-identical across ``workers=0`` (deferred synchronous), the eager
+``serial`` backend and the ``thread`` pool.
+
+Decision points are resolved on the simulator thread at quote issue
+(they mutate the vehicle's lazy cruise waypoints); workers only read
+the agent's committed schedule and the engine.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from repro.core.matching import Dispatcher
+from repro.core.request import TripRequest
+from repro.dispatch.costs import (
+    ColumnPlan,
+    ColumnQuotes,
+    CostMatrix,
+    assemble_matrix,
+    plan_columns,
+    quote_column,
+)
+from repro.dispatch.sharding.executor import WorkerPool
+
+#: Backends :class:`QuoteService` accepts. ``process`` is deliberately
+#: absent: quoting reads live agent schedules (kinetic trees, pending
+#: sets) that cannot cross a process boundary — only the *solve* stage
+#: ships to processes (see :mod:`repro.dispatch.sharding`).
+QUOTE_BACKENDS = ("serial", "thread")
+
+
+@dataclass(slots=True)
+class QuoteSet:
+    """One batch's completed quote stage.
+
+    ``matrix`` is what the solve stage consumes; ``quoted_at`` the
+    simulated time every quote is valid for (the commit time);
+    ``quote_seconds`` the wall time from quote issue to the last column
+    completing (including any staleness repair); ``requotes`` how many
+    columns were rebuilt at collect because their vehicle's schedule
+    epoch moved (``failures`` of them because the racing worker quote
+    raised). ``began_perf`` / ``finished_perf`` are ``perf_counter``
+    stamps of quote start and end, from which the simulator derives how
+    much quote wall time overlapped event execution.
+    """
+
+    matrix: CostMatrix
+    quoted_at: float
+    quote_seconds: float = 0.0
+    requotes: int = 0
+    failures: int = 0
+    began_perf: float = 0.0
+    finished_perf: float = 0.0
+    #: ``perf_counter`` at the end of the issue prologue (candidate
+    #: filtering, decision-point resolution, task submission) — all of
+    #: it runs inline on the simulator thread, so overlap accounting
+    #: starts here, not at ``began_perf``.
+    issued_perf: float = 0.0
+    #: True when the quote work ran inline on the simulator thread
+    #: (deferred mode, or the eager ``serial`` backend) — none of its
+    #: wall time can have overlapped event execution, whatever the
+    #: perf stamps suggest.
+    inline: bool = True
+
+
+class PendingQuotes:
+    """A quote stage in flight: collect() completes it.
+
+    With ``columns is None`` (deferred mode, ``workers=0``) nothing has
+    been quoted yet — :meth:`collect` runs the whole stage inline, which
+    is exactly the old synchronous order. Otherwise ``columns`` holds
+    one future per matrix column plus the schedule epoch its vehicle had
+    at quote issue.
+    """
+
+    __slots__ = (
+        "service",
+        "dispatcher",
+        "plan",
+        "now",
+        "columns",
+        "epochs",
+        "began_perf",
+        "issued_perf",
+    )
+
+    def __init__(
+        self,
+        service: "QuoteService",
+        dispatcher: Dispatcher,
+        plan: ColumnPlan,
+        now: float,
+        columns: list[Future] | None,
+        epochs: list[int] | None,
+        began_perf: float | None = None,
+    ):
+        self.service = service
+        self.dispatcher = dispatcher
+        self.plan = plan
+        self.now = now
+        self.columns = columns
+        self.epochs = epochs
+        self.began_perf = (
+            _time.perf_counter() if began_perf is None else began_perf
+        )
+        #: Stamped when the issue prologue finished (begin's last line).
+        self.issued_perf = self.began_perf
+
+    def _column_requests(self, col: int) -> list[TripRequest]:
+        plan = self.plan
+        return [plan.requests[i] for i in plan.rows_by_col[col]]
+
+    def collect(self) -> QuoteSet:
+        """Join the quote stage; re-quote stale columns; assemble.
+
+        Blocks until every column future resolves. A column is *stale*
+        when its vehicle's schedule epoch moved since quote issue (the
+        vehicle committed another request, reached a stop, or went
+        idle) or the racing worker quote raised; stale columns are
+        re-quoted here, on the calling thread, in vehicle-id order —
+        the deterministic fallback that makes the assembled matrix
+        independent of worker timing.
+        """
+        plan = self.plan
+        objective = self.dispatcher.objective
+        if self.columns is None:
+            # Deferred synchronous stage: the degenerate pipeline. Its
+            # wall time starts here — nothing ran between begin and
+            # collect, so none of it can overlap event execution.
+            t0 = _time.perf_counter()
+            columns = [
+                quote_column(agent, self._column_requests(col), self.now, objective)
+                for col, agent in enumerate(plan.agents)
+            ]
+            finished = _time.perf_counter()
+            return QuoteSet(
+                matrix=assemble_matrix(plan, columns),
+                quoted_at=self.now,
+                quote_seconds=finished - t0,
+                began_perf=t0,
+                finished_perf=finished,
+                issued_perf=t0,
+            )
+
+        columns: list[ColumnQuotes | None] = []
+        finished = self.began_perf
+        failures = 0
+        stale: list[int] = []
+        for col, future in enumerate(self.columns):
+            agent = plan.agents[col]
+            try:
+                quoted, done_at = future.result()
+            except Exception:
+                # A mutation raced the worker mid-quote (or the quote
+                # failed outright): repair below, same as stale.
+                columns.append(None)
+                failures += 1
+                stale.append(col)
+                continue
+            finished = max(finished, done_at)
+            if agent.schedule_epoch != self.epochs[col]:
+                columns.append(None)
+                stale.append(col)
+            else:
+                columns.append(quoted)
+        for col in stale:
+            columns[col] = quote_column(
+                plan.agents[col], self._column_requests(col), self.now, objective
+            )
+        if stale:
+            finished = max(finished, _time.perf_counter())
+        return QuoteSet(
+            matrix=assemble_matrix(plan, columns),
+            quoted_at=self.now,
+            quote_seconds=finished - self.began_perf,
+            requotes=len(stale),
+            failures=failures,
+            began_perf=self.began_perf,
+            finished_perf=finished,
+            issued_perf=self.issued_perf,
+            inline=self.service.backend != "thread",
+        )
+
+
+def _quote_task(agent, requests, now, objective, decision):
+    """One worker-side column quote; stamps its completion time."""
+    quoted = quote_column(agent, requests, now, objective, decision=decision)
+    return quoted, _time.perf_counter()
+
+
+class QuoteService:
+    """Builds batch cost matrices, optionally on a worker pool.
+
+    ``workers=0`` (the default) is the synchronous service: *begin*
+    plans the columns but defers all quoting to *collect*, reproducing
+    the pre-pipeline order exactly. With ``workers >= 1`` the per-vehicle
+    column quotes are issued eagerly at *begin* — inline for the
+    ``serial`` backend, on a shared thread pool for ``thread`` — and
+    *collect* repairs whatever went stale in between.
+    """
+
+    def __init__(self, workers: int = 0, backend: str = "thread"):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        if backend not in QUOTE_BACKENDS:
+            known = ", ".join(QUOTE_BACKENDS)
+            raise ValueError(f"quote backend must be one of: {known}")
+        self.workers = workers
+        self.backend = backend
+        self._pool: WorkerPool | None = None
+
+    def __repr__(self) -> str:
+        return f"QuoteService(workers={self.workers}, backend={self.backend!r})"
+
+    def _get_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.backend, max_workers=self.workers)
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def begin(
+        self, dispatcher: Dispatcher, requests: list[TripRequest], now: float
+    ) -> PendingQuotes:
+        """Start the quote stage for one batch, valid for commit at
+        ``now``. Candidate filtering and (in eager mode) decision-point
+        resolution happen here, on the calling thread."""
+        began = _time.perf_counter()
+        plan = plan_columns(dispatcher, requests)
+        if self.workers == 0:
+            # Deferred mode: nothing is quoted yet — the stage's wall
+            # time starts when collect() runs it.
+            return PendingQuotes(self, dispatcher, plan, now, None, None)
+        pool = self._get_pool()
+        graph = dispatcher.engine.graph
+        epochs: list[int] = []
+        columns: list[Future] = []
+        for col, agent in enumerate(plan.agents):
+            epochs.append(agent.schedule_epoch)
+            # Peek: ``now`` is the future commit instant — resolving it
+            # must not advance the vehicle's waypoint cursor past the
+            # position queries of the overlap window's own events.
+            decision = agent.vehicle.peek_decision_point(now, graph)
+            columns.append(
+                pool.submit(
+                    _quote_task,
+                    agent,
+                    [requests[i] for i in plan.rows_by_col[col]],
+                    now,
+                    dispatcher.objective,
+                    decision,
+                )
+            )
+        pending = PendingQuotes(
+            self, dispatcher, plan, now, columns, epochs, began_perf=began
+        )
+        pending.issued_perf = _time.perf_counter()
+        return pending
+
+    def build(
+        self, dispatcher: Dispatcher, requests: list[TripRequest], now: float
+    ) -> QuoteSet:
+        """The whole quote stage, synchronously (begin + collect).
+
+        With ``workers=0`` this produces a matrix bit-identical to
+        :func:`~repro.dispatch.costs.build_cost_matrix` — it runs the
+        same three stages in the same order.
+        """
+        return self.begin(dispatcher, requests, now).collect()
+
+    def close(self) -> None:
+        """Release the worker pool (no-op when none was created)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "QuoteService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -30,7 +30,12 @@ The subsystem is wired through ``SimulationConfig`` (``num_shards``,
 policy, and the ``sharded_dispatch`` benchmark (``BENCH_shard.json``).
 """
 
-from repro.dispatch.sharding.executor import SHARD_BACKENDS, ShardExecutor, solve_one_shard
+from repro.dispatch.sharding.executor import (
+    SHARD_BACKENDS,
+    ShardExecutor,
+    WorkerPool,
+    solve_one_shard,
+)
 from repro.dispatch.sharding.partitioner import Shard, ShardPartitioner, ShardPlan
 from repro.dispatch.sharding.reconciler import BoundaryReconciler, ReconcileOutcome
 from repro.dispatch.sharding.solver import ShardedSolveOutcome, solve_sharded
@@ -44,6 +49,7 @@ __all__ = [
     "ShardPartitioner",
     "ShardPlan",
     "ShardedSolveOutcome",
+    "WorkerPool",
     "solve_one_shard",
     "solve_sharded",
 ]

@@ -22,7 +22,7 @@ leak into assignments.
 from __future__ import annotations
 
 import time as _time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
@@ -30,6 +30,81 @@ from repro.dispatch.solver import solve_assignment
 
 #: Legal ``shard_backend`` values (also what ``SimulationConfig`` takes).
 SHARD_BACKENDS = ("serial", "thread", "process")
+
+
+class WorkerPool:
+    """A lazily created, reusable ``concurrent.futures`` pool behind a
+    backend name.
+
+    The shared substrate of the dispatch subsystem's two fan-out planes:
+    :class:`ShardExecutor` (per-shard assignment solves — all three
+    backends) and :class:`~repro.dispatch.quoting.QuoteService` (async
+    per-vehicle quoting — serial/thread only; agents never cross a
+    process boundary). The underlying pool is created on first use and
+    reused across flushes: a simulation performs thousands of flushes
+    and pool spin-up dwarfs one unit of work.
+
+    The ``serial`` backend runs submissions inline and returns
+    already-resolved futures, so callers need no backend-specific code.
+    """
+
+    BACKENDS = SHARD_BACKENDS
+
+    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+        if backend not in self.BACKENDS:
+            known = ", ".join(self.BACKENDS)
+            raise ValueError(f"worker pool backend must be one of: {known}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1 or None")
+        self.backend = backend
+        self.max_workers = max_workers
+        self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerPool(backend={self.backend!r}, "
+            f"max_workers={self.max_workers})"
+        )
+
+    def _get_pool(self):
+        if self._pool is None:
+            cls = (
+                ThreadPoolExecutor
+                if self.backend == "thread"
+                else ProcessPoolExecutor
+            )
+            self._pool = cls(max_workers=self.max_workers)
+        return self._pool
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Schedule ``fn(*args, **kwargs)``; on the serial backend it
+        runs inline before this call returns."""
+        if self.backend == "serial":
+            future: Future = Future()
+            try:
+                future.set_result(fn(*args, **kwargs))
+            except BaseException as error:  # noqa: BLE001 - mirrored to caller
+                future.set_exception(error)
+            return future
+        return self._get_pool().submit(fn, *args, **kwargs)
+
+    def close(self) -> None:
+        """Shut the pool down (no-op for the serial backend)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def solve_one_shard(
@@ -46,24 +121,25 @@ def solve_one_shard(
 
 
 class ShardExecutor:
-    """Runs per-shard solves on a configurable backend.
+    """Runs per-shard solves on a configurable :class:`WorkerPool`.
 
-    The underlying pool (thread/process backends) is created lazily on
-    first use and reused across flushes — a simulation performs
-    thousands of flushes and pool spin-up dwarfs a small solve. Call
-    :meth:`close` to release it early; otherwise it is torn down with
-    the executor object.
+    Call :meth:`close` to release the pool early; otherwise it is torn
+    down with the executor object.
     """
 
     def __init__(self, backend: str = "serial", max_workers: int | None = None):
         if backend not in SHARD_BACKENDS:
             known = ", ".join(SHARD_BACKENDS)
             raise ValueError(f"shard backend must be one of: {known}")
-        if max_workers is not None and max_workers < 1:
-            raise ValueError("max_workers must be >= 1 or None")
-        self.backend = backend
-        self.max_workers = max_workers
-        self._pool = None
+        self.pool = WorkerPool(backend, max_workers=max_workers)
+
+    @property
+    def backend(self) -> str:
+        return self.pool.backend
+
+    @property
+    def max_workers(self) -> int | None:
+        return self.pool.max_workers
 
     def __repr__(self) -> str:
         return (
@@ -72,46 +148,24 @@ class ShardExecutor:
         )
 
     # ------------------------------------------------------------------
-    def _get_pool(self):
-        if self._pool is None:
-            cls = (
-                ThreadPoolExecutor
-                if self.backend == "thread"
-                else ProcessPoolExecutor
-            )
-            self._pool = cls(max_workers=self.max_workers)
-        return self._pool
-
     def run(
         self, tasks: list[tuple[int, np.ndarray]]
     ) -> list[tuple[int, list[tuple[int, int]], float]]:
         """Solve every ``(shard_id, keys)`` task; results sorted by
         shard id regardless of completion order."""
-        if self.backend == "serial":
-            results = [solve_one_shard(sid, keys) for sid, keys in tasks]
-        else:
-            pool = self._get_pool()
-            futures = [
-                pool.submit(solve_one_shard, sid, keys) for sid, keys in tasks
-            ]
-            results = [f.result() for f in futures]
+        futures = [
+            self.pool.submit(solve_one_shard, sid, keys) for sid, keys in tasks
+        ]
+        results = [f.result() for f in futures]
         results.sort(key=lambda r: r[0])
         return results
 
     def close(self) -> None:
         """Shut the worker pool down (no-op for the serial backend)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self.pool.close()
 
     def __enter__(self) -> "ShardExecutor":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
-
-    def __del__(self):  # pragma: no cover - interpreter-shutdown path
-        try:
-            self.close()
-        except Exception:
-            pass

@@ -15,6 +15,7 @@ disambiguated by key parity so that both logically live in one keyspace.
 
 from __future__ import annotations
 
+import threading as _threading
 from typing import Any, Hashable
 
 
@@ -53,11 +54,22 @@ class LRUCache:
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Insert or refresh ``key``; evicts the least recently used entry."""
-        if key in self._data:
+        """Insert or refresh ``key``; evicts the least recently used entry.
+
+        Eviction tolerates the oldest key vanishing between selection and
+        deletion: the async quoting pipeline shares engine caches between
+        the simulator thread and quote workers, and every cached value is
+        a deterministic function of its key, so a lost eviction race only
+        means redundant work — never a wrong value.
+        """
+        try:
             del self._data[key]
-        elif len(self._data) >= self.maxsize:
-            del self._data[next(iter(self._data))]
+        except KeyError:
+            if len(self._data) >= self.maxsize:
+                try:
+                    del self._data[next(iter(self._data))]
+                except (KeyError, StopIteration, RuntimeError):
+                    pass
         self._data[key] = value
 
     def __contains__(self, key: Hashable) -> bool:
@@ -110,7 +122,15 @@ class SourceRowCache:
     it alone exceeds the cell budget (it is the active working set).
     """
 
-    __slots__ = ("capacity", "max_cells", "_rows", "_cells", "hits", "misses")
+    __slots__ = (
+        "capacity",
+        "max_cells",
+        "_rows",
+        "_cells",
+        "_lock",
+        "hits",
+        "misses",
+    )
 
     def __init__(self, capacity: int, max_cells: int = 2_000_000):
         if capacity < 1:
@@ -121,49 +141,60 @@ class SourceRowCache:
         self.max_cells = max_cells
         self._rows: dict[int, tuple[dict[int, float], bool]] = {}
         self._cells = 0
+        # get() and merge() both pop-and-reinsert row entries, and merge
+        # additionally does read-modify-write bookkeeping on the _cells
+        # budget; concurrent quote workers interleaving those sequences
+        # would orphan entries' cell counts and drift the budget
+        # permanently. One lock over both keeps the counter exact; the
+        # critical sections are dictionary ops, far cheaper than the
+        # Dijkstra sweeps they guard.
+        self._lock = _threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, source: int) -> tuple[dict[int, float], bool] | None:
         """The cached ``(settled, exhausted)`` row for ``source``,
         refreshing its recency on a hit."""
-        try:
-            entry = self._rows.pop(source)
-        except KeyError:
-            self.misses += 1
-            return None
-        self._rows[source] = entry
-        self.hits += 1
-        return entry
+        with self._lock:
+            try:
+                entry = self._rows.pop(source)
+            except KeyError:
+                self.misses += 1
+                return None
+            self._rows[source] = entry
+            self.hits += 1
+            return entry
 
     def merge(
         self, source: int, settled: dict[int, float], exhausted: bool
     ) -> tuple[dict[int, float], bool]:
         """Fold a freshly swept region into the cached row (grow-only),
         then evict least-recently-used rows past either budget."""
-        prior = self._rows.pop(source, None)
-        if prior is not None:
-            merged, was_exhausted = prior
-            self._cells -= len(merged)
-            merged.update(settled)
-            entry = (merged, exhausted or was_exhausted)
-        else:
-            entry = (dict(settled), exhausted)
-        self._cells += len(entry[0])
-        self._rows[source] = entry
-        while (
-            len(self._rows) > self.capacity or self._cells > self.max_cells
-        ) and len(self._rows) > 1:
-            oldest = next(iter(self._rows))
-            evicted, _ = self._rows.pop(oldest)
-            self._cells -= len(evicted)
-        return entry
+        with self._lock:
+            prior = self._rows.pop(source, None)
+            if prior is not None:
+                merged, was_exhausted = prior
+                self._cells -= len(merged)
+                merged.update(settled)
+                entry = (merged, exhausted or was_exhausted)
+            else:
+                entry = (dict(settled), exhausted)
+            self._cells += len(entry[0])
+            self._rows[source] = entry
+            while (
+                len(self._rows) > self.capacity or self._cells > self.max_cells
+            ) and len(self._rows) > 1:
+                oldest = next(iter(self._rows))
+                evicted, _ = self._rows.pop(oldest)
+                self._cells -= len(evicted)
+            return entry
 
     def clear(self) -> None:
-        self._rows.clear()
-        self._cells = 0
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._rows.clear()
+            self._cells = 0
+            self.hits = 0
+            self.misses = 0
 
     def stats(self) -> dict[str, float]:
         total = self.hits + self.misses

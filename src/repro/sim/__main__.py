@@ -8,6 +8,8 @@ Run a full ridesharing simulation on a generated city from the shell::
     python -m repro.sim --dispatch-policy lap --batch-window 15
     python -m repro.sim --dispatch-policy sharded --batch-window 15 \\
         --shards 4 --shard-backend thread
+    python -m repro.sim --dispatch-policy lap --batch-window 15 \\
+        --quote-workers 2 --quote-overlap 10
     python -m repro.sim --engine hub_label --vehicles 40
 
 Prints the Section VI metrics (ACRT, ART buckets, occupancy, service
@@ -22,6 +24,7 @@ import sys
 from repro.algorithms.base import ALGORITHM_REGISTRY
 from repro.core.constraints import ConstraintConfig
 from repro.dispatch.policies import POLICY_REGISTRY
+from repro.dispatch.quoting import QUOTE_BACKENDS
 from repro.dispatch.sharding import SHARD_BACKENDS
 from repro.roadnet.engine import ENGINE_KINDS, make_engine
 from repro.roadnet.generators import grid_city
@@ -113,6 +116,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-halo width in grid cells for the sharded policy "
         "(default: no halo, keep every feasible candidate)",
     )
+    parser.add_argument(
+        "--quote-workers", type=int, default=0,
+        help="async quote-stage workers (0 = synchronous quoting at the "
+        "solve instant, the pre-pipeline order)",
+    )
+    parser.add_argument(
+        "--quote-backend",
+        default="thread",
+        choices=QUOTE_BACKENDS,
+        help="quote-stage executor: thread overlaps quoting with event "
+        "execution, serial quotes eagerly at flush time",
+    )
+    parser.add_argument(
+        "--quote-overlap", type=float, default=0.0,
+        help="simulated seconds between a flush (quote issue) and its "
+        "solve+commit; events in the gap run while quotes compute",
+    )
     return parser
 
 
@@ -138,6 +158,9 @@ def main(argv: list[str] | None = None) -> int:
         num_shards=args.shards,
         shard_backend=args.shard_backend,
         shard_boundary_cells=args.shard_boundary_cells,
+        quote_workers=args.quote_workers,
+        quote_backend=args.quote_backend,
+        quote_overlap_s=args.quote_overlap,
         seed=args.seed,
     )
     print(

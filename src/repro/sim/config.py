@@ -56,6 +56,19 @@ class SimulationConfig:
         identical across backends); ``shard_boundary_cells`` is the
         optional candidate-halo width in grid cells (``None`` keeps
         every feasible candidate per shard).
+    quote_workers / quote_backend / quote_overlap_s:
+        Staged-pipeline quote stage (:mod:`repro.dispatch.quoting`).
+        ``quote_workers=0`` (default) quotes synchronously at the
+        solve instant — the pre-pipeline order, bit-identical to it;
+        ``>= 1`` issues the batch's per-vehicle column quotes eagerly
+        at flush time on the ``quote_backend`` (``"thread"`` overlaps
+        quoting with event execution; ``"serial"`` quotes inline at
+        flush — determinism reference). ``quote_overlap_s`` is the
+        simulated-time gap between a flush (quote issue) and its
+        ``QUOTE_READY`` solve+commit; stop events executing inside the
+        gap bump vehicle schedule epochs and force deterministic
+        re-quotes at commit. Assignments are identical for every
+        (workers, backend) combination at a fixed overlap.
     engine_kind:
         Shortest-path engine backing the run (see
         :data:`repro.roadnet.engine.ENGINE_KINDS`): ``"auto"`` picks
@@ -87,6 +100,9 @@ class SimulationConfig:
     num_shards: int = 1
     shard_backend: str = "serial"
     shard_boundary_cells: int | None = None
+    quote_workers: int = 0
+    quote_backend: str = "thread"
+    quote_overlap_s: float = 0.0
     grid_cell_meters: float = 500.0
     use_grid_index: bool = True
     #: Assignment objective: "total" (the paper's — minimize the full
@@ -153,4 +169,46 @@ class SimulationConfig:
                 "sharded dispatch with num_shards > 1 requires the grid "
                 "index (use_grid_index=True): without it every flush "
                 "would silently degenerate to a single global shard"
+            )
+        if self.quote_workers < 0:
+            raise ValueError("quote_workers must be >= 0")
+        from repro.dispatch.quoting import QUOTE_BACKENDS
+
+        if self.quote_backend not in QUOTE_BACKENDS:
+            known = ", ".join(QUOTE_BACKENDS)
+            raise ValueError(
+                f"quote_backend must be one of: {known} (quoting reads "
+                "live agent schedules and cannot cross a process boundary)"
+            )
+        if self.quote_overlap_s < 0:
+            raise ValueError("quote_overlap_s must be >= 0")
+        if (
+            self.quote_workers > 0 or self.quote_overlap_s > 0
+        ) and self.batch_window_s <= 0:
+            raise ValueError(
+                "the staged quote pipeline (quote_workers/quote_overlap_s) "
+                "requires batched dispatch (batch_window_s > 0): immediate "
+                "per-request dispatch has no flush to overlap"
+            )
+        if (
+            self.batch_window_s > 0
+            and self.quote_overlap_s >= self.batch_window_s
+        ):
+            raise ValueError(
+                f"quote_overlap_s ({self.quote_overlap_s:g}) must be "
+                f"shorter than batch_window_s ({self.batch_window_s:g}): "
+                "a flush's quotes must commit before the next flush"
+            )
+        if (
+            self.batch_window_s > 0
+            and self.batch_window_s + self.quote_overlap_s
+            >= self.constraints.max_wait_seconds
+        ):
+            raise ValueError(
+                "batch_window_s + quote_overlap_s "
+                f"({self.batch_window_s + self.quote_overlap_s:g}) must "
+                "stay under the waiting-time guarantee "
+                f"({self.constraints.max_wait_seconds:g} s): requests held "
+                "through a full window plus the quote overlap would "
+                "already have expired at commit"
             )

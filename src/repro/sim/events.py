@@ -13,13 +13,16 @@ from repro.exceptions import SimulationError
 class EventKind(enum.IntEnum):
     """Event types, ordered so simultaneous events resolve deterministically:
     stop arrivals apply before new requests at the same instant, batch
-    flushes see every request that arrived by their instant, and location
+    flushes see every request that arrived by their instant, quote
+    completions (and the solve+commit they trigger) land right after the
+    flush that issued them when the overlap window is zero, and location
     reports come last."""
 
     STOP_REACHED = 0
     REQUEST_ARRIVAL = 1
     BATCH_DISPATCH = 2
-    LOCATION_REPORT = 3
+    QUOTE_READY = 3
+    LOCATION_REPORT = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,7 +32,10 @@ class Event:
     ``payload`` is kind-specific: a workload trip spec for request
     arrivals, a ``(vehicle_id, plan_version)`` pair for stop arrivals
     (stale versions are dropped — vehicles re-plan), a vehicle id for
-    location reports, and ``None`` for periodic batch-dispatch flushes.
+    location reports, ``None`` for periodic batch-dispatch flushes, and
+    the in-flight pipeline stage (batch +
+    :class:`~repro.dispatch.quoting.PendingQuotes`) for quote
+    completions.
     """
 
     time: float

@@ -2,7 +2,10 @@
 
 "A vehicle is initialized to a random vertex in the city" (Section VI);
 each vehicle gets its own deterministic cruising RNG stream derived from
-the master seed, and an agent matching the configured algorithm.
+the master seed, and an agent matching the configured algorithm. Every
+agent starts at schedule epoch 0 (the staleness counter the staged
+dispatch pipeline validates quotes against; see
+:mod:`repro.dispatch.quoting`).
 """
 
 from __future__ import annotations

@@ -142,6 +142,18 @@ class SimulationReport:
     #: Flushes whose shard plan silently degenerated to one global shard
     #: (no grid index / no coordinates) despite more being requested.
     shard_fallbacks: int = 0
+    #: Staged quote pipeline (repro.dispatch.quoting): per-flush quote
+    #: stage wall time, stale columns re-quoted at commit, and the
+    #: fraction of quote wall time that overlapped event execution
+    #: (async quoting's payoff; 0 for the synchronous/deferred stage).
+    #: Empty unless batched dispatch ran through the pipeline.
+    quote_seconds: RunningStats = field(default_factory=RunningStats)
+    staleness_requotes: RunningStats = field(default_factory=RunningStats)
+    overlap_ratio: RunningStats = field(default_factory=RunningStats)
+    #: Columns whose async worker quote raised because a schedule
+    #: mutation raced it (always repaired by a re-quote; a correctness
+    #: counter, not an error count).
+    quote_failures: int = 0
     wall_seconds: float = 0.0
     #: request_id -> {"request", "vehicle", "assigned_cost", "pickup",
     #: "dropoff"} — everything needed to audit the service guarantee.
@@ -195,6 +207,18 @@ class SimulationReport:
             self.boundary_conflicts.add(batch.boundary_conflicts)
         self.shard_fallbacks += batch.shard_fallbacks
 
+    def record_quote_stage(self, quote_set, overlap_seconds: float) -> None:
+        """Fold one flush's completed quote stage in
+        (:class:`~repro.dispatch.quoting.QuoteSet` plus how much of its
+        wall time ran concurrently with event execution)."""
+        self.quote_seconds.add(quote_set.quote_seconds)
+        self.staleness_requotes.add(quote_set.requotes)
+        self.quote_failures += quote_set.failures
+        if quote_set.quote_seconds > 0:
+            self.overlap_ratio.add(
+                min(1.0, max(0.0, overlap_seconds / quote_set.quote_seconds))
+            )
+
     def verify_service_guarantees(self, tolerance: float = 1e-5) -> list[str]:
         """Audit the service log against Definition 2: every assigned
         rider picked up by ``request_time + w`` and carried within
@@ -245,6 +269,11 @@ class SimulationReport:
             "shard_solve_ms_mean": round(self.shard_solve_seconds.mean * 1000.0, 4),
             "boundary_conflicts": int(self.boundary_conflicts.total),
             "shard_fallbacks": self.shard_fallbacks,
+            "pipeline_flushes": self.quote_seconds.count,
+            "quote_ms_mean": round(self.quote_seconds.mean * 1000.0, 4),
+            "staleness_requotes": int(self.staleness_requotes.total),
+            "quote_failures": self.quote_failures,
+            "overlap_ratio_mean": round(self.overlap_ratio.mean, 4),
             "wall_seconds": round(self.wall_seconds, 3),
         }
 
@@ -302,5 +331,26 @@ class SimulationReport:
                 lines.append(
                     f"{'shard_fallbacks':24s} {self.shard_fallbacks} "
                     "(flushes solved globally: no grid index/coords)"
+                )
+        if self.quote_seconds.count:
+            lines.append("--- quote pipeline ---")
+            lines.append(f"{'pipeline_flushes':24s} {self.quote_seconds.count}")
+            lines.append(
+                f"{'quote_ms':24s} mean {self.quote_seconds.mean * 1000:.3f} "
+                f"max {self.quote_seconds.max * 1000:.3f}"
+            )
+            lines.append(
+                f"{'staleness_requotes':24s} total "
+                f"{int(self.staleness_requotes.total)} "
+                f"mean {self.staleness_requotes.mean:.3f}"
+            )
+            lines.append(
+                f"{'overlap_ratio':24s} mean {self.overlap_ratio.mean:.3f} "
+                f"max {self.overlap_ratio.max if self.overlap_ratio.count else 0.0:.3f}"
+            )
+            if self.quote_failures:
+                lines.append(
+                    f"{'quote_failures':24s} {self.quote_failures} "
+                    "(worker quotes raced a schedule mutation; re-quoted)"
                 )
         return "\n".join(lines)

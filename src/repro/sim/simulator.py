@@ -6,9 +6,15 @@ vehicles re-route on the fly. Dispatch runs through the batched
 subsystem (:mod:`repro.dispatch`): with ``batch_window_s == 0`` each
 request is flushed the instant it arrives (the paper's immediate
 dispatch), otherwise requests accumulate in a
-:class:`~repro.dispatch.window.BatchWindow` and a periodic
-``BATCH_DISPATCH`` event flushes the whole batch through the configured
-assignment policy.
+:class:`~repro.dispatch.window.BatchWindow` and each periodic
+``BATCH_DISPATCH`` event runs the staged pipeline: the flush snapshots
+the batch and *issues* its quote stage (asynchronously on the quote
+workers when configured), a ``QUOTE_READY`` event ``quote_overlap_s``
+later *collects* the quotes — deterministically re-quoting any column
+whose vehicle mutated its schedule in between — and the policy solves
+and commits. With ``quote_workers=0`` and a zero overlap the pipeline
+degenerates to the old synchronous quote+solve+commit blob, and is
+bit-identical to it.
 
 Event causality: committed plans are versioned — when a vehicle is
 re-planned (wins a request), its in-flight stop-arrival event becomes
@@ -22,7 +28,7 @@ import time as _time
 import numpy as np
 
 from repro.core.matching import Dispatcher
-from repro.dispatch import BatchDispatcher, BatchWindow, make_policy
+from repro.dispatch import BatchDispatcher, BatchWindow, QuoteService, make_policy
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fleet import build_fleet
@@ -83,6 +89,9 @@ class Simulation:
             if config.batch_window_s > 0
             else None
         )
+        self.quote_service = QuoteService(
+            workers=config.quote_workers, backend=config.quote_backend
+        )
         self.report = SimulationReport()
 
     # ------------------------------------------------------------------
@@ -111,17 +120,33 @@ class Simulation:
                 )
             )
 
-        while queue:
-            event = queue.pop()
-            if event.kind is EventKind.REQUEST_ARRIVAL:
-                self._handle_request(event.payload, event.time, queue)
-            elif event.kind is EventKind.STOP_REACHED:
-                self._handle_stop(event.payload, event.time, queue)
-            elif event.kind is EventKind.BATCH_DISPATCH:
-                self._handle_batch_flush(event.time, queue)
-            else:
-                self._handle_report(event.payload, event.time, queue)
+        while True:
+            while queue:
+                event = queue.pop()
+                if event.kind is EventKind.REQUEST_ARRIVAL:
+                    self._handle_request(event.payload, event.time, queue)
+                elif event.kind is EventKind.STOP_REACHED:
+                    self._handle_stop(event.payload, event.time, queue)
+                elif event.kind is EventKind.BATCH_DISPATCH:
+                    self._handle_batch_flush(event.time, queue)
+                elif event.kind is EventKind.QUOTE_READY:
+                    self._handle_quote_ready(event.payload, event.time, queue)
+                else:
+                    self._handle_report(event.payload, event.time, queue)
+            if self.batch_window is not None and self.batch_window:
+                # Safety net: flush the final partial window so tail
+                # requests are never silently dropped, whatever ended
+                # the periodic flush chain. Committing schedules new
+                # stop events, so loop back to drain them.
+                self._dispatch_batch(
+                    self.batch_window.flush(),
+                    max(queue.current_time, self.start_time),
+                    queue,
+                )
+                continue
+            break
 
+        self.quote_service.close()
         self.report.wall_seconds = _time.perf_counter() - started
         self.report.extra["engine_stats"] = getattr(
             self.engine, "stats", lambda: {}
@@ -147,21 +172,69 @@ class Simulation:
             self.batch_window.add(request)
 
     def _handle_batch_flush(self, now: float, queue: EventQueue) -> None:
-        """Periodic ``BATCH_DISPATCH``: flush the window's accumulated
-        requests through the policy, then schedule the next flush (the
-        chain ends one window past the last request arrival)."""
+        """Periodic ``BATCH_DISPATCH``: snapshot the window's accumulated
+        requests and *issue* their quote stage; the matching
+        ``QUOTE_READY`` event ``quote_overlap_s`` later solves and
+        commits. Then schedule the next flush — the chain runs until the
+        first flush at or after the last request arrival (same flush
+        instants as the old ``next <= horizon + window`` rule, but immune
+        to float accumulation stopping the chain one window early and
+        stranding tail requests)."""
         requests = self.batch_window.flush()
         if requests:
-            self._dispatch_batch(requests, now, queue)
-        next_time = now + self.config.batch_window_s
-        if next_time <= self.horizon + self.config.batch_window_s:
-            queue.push(Event(next_time, EventKind.BATCH_DISPATCH))
+            commit_time = now + self.config.quote_overlap_s
+            pending = None
+            if self.batch_dispatcher.policy.uses_quote_set:
+                # Quote stage: candidate filtering and decision points
+                # resolve here; with quote workers the column quotes
+                # start computing while we return to executing events.
+                pending = self.quote_service.begin(
+                    self.dispatcher, requests, commit_time
+                )
+            queue.push(
+                Event(
+                    commit_time, EventKind.QUOTE_READY, (requests, pending)
+                )
+            )
+        if now < self.horizon:
+            queue.push(
+                Event(now + self.config.batch_window_s, EventKind.BATCH_DISPATCH)
+            )
 
-    def _dispatch_batch(self, requests, now: float, queue: EventQueue) -> None:
+    def _handle_quote_ready(self, payload, now: float, queue: EventQueue) -> None:
+        """Commit stage: collect the flush's quotes (re-quoting stale
+        columns), then solve and commit through the policy."""
+        requests, pending = payload
+        quote_set = None
+        if pending is not None:
+            collect_start = _time.perf_counter()
+            quote_set = pending.collect()
+            # Quote wall time that ran while this thread was still
+            # executing events: the stage's span — counted from the end
+            # of the issue prologue, which ran inline in the flush
+            # handler — clipped at the moment we came back to collect
+            # it. Inline stages (deferred mode, eager serial backend)
+            # blocked this thread throughout, so nothing overlapped by
+            # construction.
+            overlapped = (
+                0.0
+                if quote_set.inline
+                else max(
+                    0.0,
+                    min(quote_set.finished_perf, collect_start)
+                    - quote_set.issued_perf,
+                )
+            )
+            self.report.record_quote_stage(quote_set, overlapped)
+        self._dispatch_batch(requests, now, queue, quote_set=quote_set)
+
+    def _dispatch_batch(
+        self, requests, now: float, queue: EventQueue, quote_set=None
+    ) -> None:
         """Assign one batch and fold the outcome into the report; each
         winning vehicle gets exactly one fresh stop event (its final
         post-batch plan), and one location report."""
-        batch = self.batch_dispatcher.dispatch(requests, now)
+        batch = self.batch_dispatcher.dispatch(requests, now, quote_set=quote_set)
         self.report.record_batch(batch)
         winners: dict[int, object] = {}
         for result in batch.results:
