@@ -612,6 +612,59 @@ def pipeline_overlap() -> ExperimentTable:
     )
 
 
+def adaptive_window() -> ExperimentTable:
+    """Adaptive batch-window autotuning + carry-over vs fixed windows.
+
+    Also writes ``BENCH_adaptive.json`` to the working directory so
+    future PRs have a window-trajectory record to compare against. The
+    headline claims: on the bimodal workload the adaptive run answers
+    off-peak requests faster than the best fixed window while serving
+    at least as much of the rush-hour surge (carry-over keeps losing
+    requests alive across flushes), and the whole trajectory is
+    deterministic given the seed.
+    """
+    from repro.bench.adaptive import run_adaptive_bench
+
+    result = run_adaptive_bench()
+    rows = []
+    for label, cell in result["runs"].items():
+        rows.append(
+            [
+                label,
+                f"{cell['offpeak_latency_s']:.2f}",
+                f"{cell['offpeak_service_rate']:.3f}",
+                f"{cell['peak_latency_s']:.2f}",
+                f"{cell['peak_service_rate']:.3f}",
+                f"{cell['mean_batch_size']:.2f}",
+                str(cell.get("carry_events", 0)),
+            ]
+        )
+    w = result["workload"]
+    adaptive = result["runs"]["adaptive"]
+    return ExperimentTable(
+        "adaptive_window",
+        "Adaptive batch window: off-peak latency vs rush-hour service",
+        [
+            "run",
+            "offpeak_latency_s",
+            "offpeak_rate",
+            "peak_latency_s",
+            "peak_rate",
+            "mean_batch",
+            "carried",
+        ],
+        rows,
+        notes=(
+            f"{w['num_trips']} trips ({w['offpeak_trips']} off-peak + "
+            f"{w['peak_trips']} peak) on {w['num_vehicles']} vehicles; "
+            f"adaptive band [{w['window_min_s']:g}, {w['window_max_s']:g}]s "
+            f"visited [{adaptive['window_s_min']:.1f}, "
+            f"{adaptive['window_s_max']:.1f}]s; best fixed at peak: "
+            f"{result['best_fixed']} (BENCH_adaptive.json)"
+        ),
+    )
+
+
 def ablation_objective() -> ExperimentTable:
     """Total-cost vs delta-cost assignment objective (DESIGN.md ablation)."""
     ctx = get_context(TREE_SUITE)
@@ -774,6 +827,7 @@ ALL_EXPERIMENTS = {
     "micro_batched": (micro_batched, "Scalar vs batched distance plane"),
     "sharded_dispatch": (sharded_dispatch, "Sharded per-flush solve scaling"),
     "pipeline_overlap": (pipeline_overlap, "Staged pipeline quote/event overlap"),
+    "adaptive_window": (adaptive_window, "Adaptive batch window vs fixed"),
     "ablation_objective": (ablation_objective, "total vs delta objective"),
     "ablation_invalidation": (ablation_invalidation, "eager vs lazy pruning"),
     "ablation_beam": (ablation_beam, "schedule-cap load shedding"),

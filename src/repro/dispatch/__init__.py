@@ -29,7 +29,17 @@ each flush through an explicit three-stage pipeline:
     reconciliation; ``shards=1`` is bit-identical to ``lap``.
 
 * **commit** — winning quotes are adopted by their vehicles; the
-  simulator schedules fresh stop events for the winners.
+  simulator schedules fresh stop events for the winners. With
+  carry-over batching enabled, requests that lose the flush but still
+  have wait budget left re-enter the next window
+  (:class:`CarriedRequest`) instead of being settled in-batch.
+
+The flush cadence itself is owned by a window controller
+(:mod:`repro.dispatch.adaptive`): fixed (the configured
+``batch_window_s``, bit-identical to the pre-controller scheduling) or
+adaptive (per-flush retuning from the observed arrival intensity,
+clamped to ``[window_min_s, window_max_s]``, with ``quote_overlap_s``
+scaled proportionally).
 
 Cost matrices are built per vehicle, so a vehicle quoting many requests
 computes its decision point once and reuses its shortest-path locality
@@ -37,6 +47,12 @@ across the batch. With ``quote_workers=0`` the pipeline defers all
 quoting to the solve instant and is bit-identical to the pre-pipeline
 synchronous order.
 """
+
+from repro.dispatch.adaptive import (
+    AdaptiveWindowController,
+    FixedWindowController,
+    make_window_controller,
+)
 
 from repro.dispatch.costs import (
     ColumnPlan,
@@ -50,6 +66,7 @@ from repro.dispatch.costs import (
 from repro.dispatch.dispatcher import BatchDispatcher
 from repro.dispatch.policies import (
     BatchResult,
+    CarriedRequest,
     DispatchPolicy,
     GreedyPolicy,
     IterativePolicy,
@@ -77,14 +94,17 @@ from repro.dispatch.solver import assignment_cost, solve_assignment
 from repro.dispatch.window import BatchWindow
 
 __all__ = [
+    "AdaptiveWindowController",
     "BatchDispatcher",
     "BatchResult",
     "BatchWindow",
     "BoundaryReconciler",
+    "CarriedRequest",
     "ColumnPlan",
     "ColumnQuotes",
     "CostMatrix",
     "DispatchPolicy",
+    "FixedWindowController",
     "GreedyPolicy",
     "IterativePolicy",
     "LapPolicy",
@@ -103,6 +123,7 @@ __all__ = [
     "assignment_cost",
     "build_cost_matrix",
     "make_policy",
+    "make_window_controller",
     "plan_columns",
     "quote_column",
     "solve_sharded",

@@ -3,11 +3,18 @@
 :class:`BatchDispatcher` generalises the per-request
 :class:`~repro.core.matching.Dispatcher` to whole windows: the simulator
 hands it the batch a :class:`~repro.dispatch.window.BatchWindow`
-accumulated, and the configured :class:`~repro.dispatch.policies.DispatchPolicy`
-quotes, solves and commits. Candidate filtering, quoting and commit
-semantics are the underlying dispatcher's — this layer only changes *when*
-and *together with whom* requests are matched, which is why a zero-length
-window under the ``greedy`` policy reduces exactly to immediate dispatch.
+accumulated — together with the staged pipeline's completed quote stage,
+when one ran — and the configured
+:class:`~repro.dispatch.policies.DispatchPolicy` solves and commits
+(re-quoting itself in later rounds and whenever no quote stage was
+handed in). Candidate filtering, quoting and commit semantics are the
+underlying dispatcher's — this layer only changes *when* and *together
+with whom* requests are matched, which is why a zero-length window under
+the ``greedy`` policy reduces exactly to immediate dispatch. With
+carry-over enabled it also decides *whether now at all*: losing requests
+that can still make the next flush's commit come back in
+:attr:`~repro.dispatch.policies.BatchResult.carried` instead of settling
+here.
 """
 
 from __future__ import annotations
@@ -46,15 +53,24 @@ class BatchDispatcher:
         requests: Sequence[TripRequest],
         now: float,
         quote_set: QuoteSet | None = None,
+        carry_deadline: float | None = None,
     ) -> BatchResult:
         """Assign one batch at ``now``; winning quotes are committed.
 
         ``quote_set`` hands the policy a completed quote stage for this
         exact batch (the staged pipeline's round-1 material); ``None``
         means the policy quotes synchronously, as before the pipeline.
+        ``carry_deadline`` (the next flush's commit instant) enables
+        carry-over batching: unassigned requests that can still make it
+        come back in :attr:`BatchResult.carried` for re-entry into the
+        window instead of being settled in-batch.
         """
         return self.policy.assign(
-            self.dispatcher, list(requests), now, quote_set=quote_set
+            self.dispatcher,
+            list(requests),
+            now,
+            quote_set=quote_set,
+            carry_deadline=carry_deadline,
         )
 
     def __repr__(self) -> str:

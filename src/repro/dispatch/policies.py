@@ -28,7 +28,15 @@ quotes. Three policies ship:
 Within one flush a request that quotes infeasible against every
 candidate is rejected outright and not retried: vehicle decision points
 are fixed for the flush and schedules only grow, so feasibility can only
-shrink between rounds.
+shrink between rounds. *Across* flushes feasibility can recover —
+vehicles reach stops and free seats — which is what **carry-over
+batching** (Simonetto-style, ``carry_deadline`` below) exploits: instead
+of settling a losing request in-batch (greedy cleanup or rejection), the
+policy hands it back as a :class:`CarriedRequest` and the simulator
+rolls it into the next :class:`~repro.dispatch.window.BatchWindow`,
+bounded by its remaining wait budget. A request whose pickup deadline
+cannot reach the next flush's commit instant takes the existing
+in-batch cleanup/rejection path exactly as before.
 """
 
 from __future__ import annotations
@@ -46,11 +54,29 @@ from repro.dispatch.solver import solve_assignment
 
 
 @dataclass(slots=True)
+class CarriedRequest:
+    """A request deferred to the next batch window (carry-over).
+
+    ``elapsed`` and ``quote_timings`` are the ACRT/ART debt this flush
+    ran up for the request; the simulator accumulates them and folds
+    them into the request's final :class:`~repro.core.matching.
+    AssignmentResult` when a later flush settles it, so response-time
+    metrics cover the full multi-flush search.
+    """
+
+    request: TripRequest
+    elapsed: float
+    quote_timings: list[tuple[int, float]]
+
+
+@dataclass(slots=True)
 class BatchResult:
     """Outcome of dispatching one batch.
 
     ``results`` is in request (arrival) order, one
-    :class:`~repro.core.matching.AssignmentResult` per request;
+    :class:`~repro.core.matching.AssignmentResult` per *settled*
+    request; ``carried`` holds the requests deferred to the next window
+    (empty unless carry-over is enabled — see :class:`CarriedRequest`);
     ``solver_seconds`` is the wall time spent inside the assignment
     solver proper (0 for ``greedy``); ``rounds`` counts the
     linear-assignment rounds actually run. The shard fields are only
@@ -60,6 +86,7 @@ class BatchResult:
     """
 
     results: list[AssignmentResult] = field(default_factory=list)
+    carried: list[CarriedRequest] = field(default_factory=list)
     solver_seconds: float = 0.0
     rounds: int = 0
     shard_sizes: list[int] = field(default_factory=list)
@@ -100,14 +127,23 @@ class DispatchPolicy(abc.ABC):
         requests: list[TripRequest],
         now: float,
         quote_set: QuoteSet | None = None,
+        carry_deadline: float | None = None,
     ) -> BatchResult:
         """Match ``requests`` (arrival order) against the fleet at ``now``,
-        committing every winning quote; returns one result per request.
+        committing every winning quote; returns one result per settled
+        request (plus the carried remainder).
 
         ``quote_set`` is the pipeline's completed quote stage for this
         batch (``None`` = quote here, synchronously). Policies that
         consume it must treat it as round-1 material only: later rounds
         re-quote against schedules the earlier rounds just changed.
+
+        ``carry_deadline`` enables carry-over batching: a request that
+        ends the flush unassigned and whose ``pickup_deadline`` still
+        reaches ``carry_deadline`` (the next flush's commit instant) is
+        returned in :attr:`BatchResult.carried` instead of being
+        settled in-batch. ``None`` (the default) settles every request
+        here — today's behavior, bit-identical.
         """
 
     def __repr__(self) -> str:
@@ -124,9 +160,28 @@ class GreedyPolicy(DispatchPolicy):
 
     name = "greedy"
 
-    def assign(self, dispatcher, requests, now, quote_set=None):
+    def assign(self, dispatcher, requests, now, quote_set=None, carry_deadline=None):
+        results: list[AssignmentResult] = []
+        carried: list[CarriedRequest] = []
+        for request in requests:
+            result = dispatcher.submit(request, now)
+            if (
+                not result.assigned
+                and carry_deadline is not None
+                and request.pickup_deadline >= carry_deadline
+            ):
+                carried.append(
+                    CarriedRequest(
+                        request=request,
+                        elapsed=result.elapsed,
+                        quote_timings=result.quote_timings,
+                    )
+                )
+            else:
+                results.append(result)
         return BatchResult(
-            results=[dispatcher.submit(r, now) for r in requests],
+            results=results,
+            carried=carried,
             solver_seconds=0.0,
             rounds=0,
         )
@@ -162,7 +217,7 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         policy overrides this hook)."""
         return solve_assignment(matrix.keys), None
 
-    def assign(self, dispatcher, requests, now, quote_set=None):
+    def assign(self, dispatcher, requests, now, quote_set=None, carry_deadline=None):
         started = _time.perf_counter()
         if quote_set is not None:
             # Round 1's quoting already ran in the pipeline's quote
@@ -176,6 +231,7 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         boundary_conflicts = 0
         shard_fallbacks = 0
         results: dict[int, AssignmentResult] = {}
+        carried_idx: set[int] = set()
         pending = list(range(len(requests)))
         # ART samples accumulate across rounds: a request quoted in three
         # rounds contributes all three rounds' quote work, not just the
@@ -183,6 +239,16 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         art_samples: dict[int, list[tuple[int, float]]] = {
             i: [] for i in pending
         }
+
+        def carries_over(i: int) -> bool:
+            # A carried request must still be assignable at the *next*
+            # flush's commit instant; once its wait budget can no longer
+            # reach it, the existing in-batch settle path fires instead.
+            return (
+                carry_deadline is not None
+                and requests[i].pickup_deadline >= carry_deadline
+            )
+
         while pending and rounds_used < self.rounds:
             batch = [requests[i] for i in pending]
             if quote_set is not None and rounds_used == 0:
@@ -196,13 +262,20 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                 art_samples[i].extend(matrix.row_timings(row))
             feasible_rows = np.isfinite(matrix.keys).any(axis=1)
             for row in np.nonzero(~feasible_rows)[0]:
-                results[pending[row]] = AssignmentResult(
+                i = pending[row]
+                if carries_over(i):
+                    # Infeasible *now*, but vehicles free up between
+                    # flushes — roll into the next window instead of
+                    # rejecting.
+                    carried_idx.add(i)
+                    continue
+                results[i] = AssignmentResult(
                     request=matrix.requests[row],
                     winner=None,
                     cost=float("inf"),
                     elapsed=0.0,
                     num_candidates=matrix.candidate_counts[row],
-                    quote_timings=art_samples[pending[row]],
+                    quote_timings=art_samples[i],
                 )
             t0 = _time.perf_counter()
             pairs, shard_outcome = self._solve_matrix(dispatcher, matrix)
@@ -233,25 +306,42 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
             ]
             if not pairs:
                 break
-        # Cleanup: requests that lost every round re-quote sequentially
-        # against the updated schedules — a vehicle that won a request
-        # above can still pool a second one here.
+        # Losers of every round: carry-over rolls them into the next
+        # window (they wait for the next global solve instead of being
+        # resolved greedily in-batch); everyone else takes the cleanup —
+        # a sequential re-quote against the updated schedules, where a
+        # vehicle that won a request above can still pool a second one.
         for i in pending:
+            if carries_over(i):
+                carried_idx.add(i)
+                continue
             result = dispatcher.submit(requests[i], now)
             result.quote_timings = art_samples[i] + result.quote_timings
             results[i] = result
         # Each request's ACRT contribution is an even share of the batch
-        # wall time (the whole batch was answered by one solve).
+        # wall time (the whole batch was answered by one solve); carried
+        # requests take their share along as debt and settle it later.
         share = (
             (_time.perf_counter() - started) / len(requests) if requests else 0.0
         )
         ordered = []
+        carried = []
         for i in range(len(requests)):
+            if i in carried_idx:
+                carried.append(
+                    CarriedRequest(
+                        request=requests[i],
+                        elapsed=share,
+                        quote_timings=art_samples[i],
+                    )
+                )
+                continue
             result = results[i]
             result.elapsed = share
             ordered.append(result)
         return BatchResult(
             results=ordered,
+            carried=carried,
             solver_seconds=solver_seconds,
             rounds=rounds_used,
             shard_sizes=shard_sizes,

@@ -10,6 +10,8 @@ Run a full ridesharing simulation on a generated city from the shell::
         --shards 4 --shard-backend thread
     python -m repro.sim --dispatch-policy lap --batch-window 15 \\
         --quote-workers 2 --quote-overlap 10
+    python -m repro.sim --dispatch-policy lap --batch-window 10 \\
+        --adaptive-window --window-min 5 --window-max 30 --carry-over
     python -m repro.sim --engine hub_label --vehicles 40
 
 Prints the Section VI metrics (ACRT, ART buckets, occupancy, service
@@ -102,6 +104,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="max LAP rounds for the iterative policy",
     )
     parser.add_argument(
+        "--adaptive-window", action="store_true",
+        help="retune the batch window per flush from the observed "
+        "arrival intensity (requires --window-min and --window-max; "
+        "--batch-window is the initial value)",
+    )
+    parser.add_argument(
+        "--window-min", type=float, default=None,
+        help="adaptive clamp band lower bound in seconds",
+    )
+    parser.add_argument(
+        "--window-max", type=float, default=None,
+        help="adaptive clamp band upper bound in seconds",
+    )
+    parser.add_argument(
+        "--carry-over", action="store_true",
+        help="requests that lose a flush re-enter the next window "
+        "(bounded by their wait budget) instead of settling in-batch",
+    )
+    parser.add_argument(
         "--shards", type=int, default=1,
         help="spatial shard count for the sharded policy (1 = global)",
     )
@@ -155,6 +176,10 @@ def main(argv: list[str] | None = None) -> int:
         dispatch_policy=args.dispatch_policy,
         batch_window_s=args.batch_window,
         assignment_rounds=args.assignment_rounds,
+        adaptive_window=args.adaptive_window,
+        window_min_s=args.window_min,
+        window_max_s=args.window_max,
+        carry_over=args.carry_over,
         num_shards=args.shards,
         shard_backend=args.shard_backend,
         shard_boundary_cells=args.shard_boundary_cells,

@@ -56,6 +56,28 @@ class SimulationConfig:
         identical across backends); ``shard_boundary_cells`` is the
         optional candidate-halo width in grid cells (``None`` keeps
         every feasible candidate per shard).
+    adaptive_window / window_min_s / window_max_s:
+        Batch-window autotuning (:mod:`repro.dispatch.adaptive`). With
+        ``adaptive_window=True`` the window length is retuned at every
+        flush from an EWMA of request arrival intensity — short windows
+        off-peak, longer in rush hour — clamped to
+        ``[window_min_s, window_max_s]`` (both required; the configured
+        ``batch_window_s`` is the initial value and must lie inside the
+        band). ``quote_overlap_s`` scales proportionally with the
+        window. ``False`` (default) keeps the fixed window and is
+        bit-identical to pre-controller runs.
+    adaptive_ewma_alpha / adaptive_target_batch / adaptive_latency_headroom:
+        Controller shape knobs (only honored with ``adaptive_window``):
+        EWMA smoothing weight of the newest intensity sample, the batch
+        size at which a maximal window saturates (sets the intensity →
+        window ramp slope), and the real-time guard's quote-latency
+        headroom fraction (wall-clock safety channel; dormant at
+        simulation scale — see ``docs/determinism.md``).
+    carry_over:
+        Carry-over batching (Simonetto-style): requests that lose a
+        flush's assignment re-enter the next window — bounded by their
+        remaining wait budget — instead of being settled in-batch.
+        ``False`` (default) keeps today's in-batch cleanup/rejection.
     quote_workers / quote_backend / quote_overlap_s:
         Staged-pipeline quote stage (:mod:`repro.dispatch.quoting`).
         ``quote_workers=0`` (default) quotes synchronously at the
@@ -97,6 +119,13 @@ class SimulationConfig:
     dispatch_policy: str = "greedy"
     batch_window_s: float = 0.0
     assignment_rounds: int = 3
+    adaptive_window: bool = False
+    window_min_s: float | None = None
+    window_max_s: float | None = None
+    adaptive_ewma_alpha: float = 0.3
+    adaptive_target_batch: float = 12.0
+    adaptive_latency_headroom: float = 0.5
+    carry_over: bool = False
     num_shards: int = 1
     shard_backend: str = "serial"
     shard_boundary_cells: int | None = None
@@ -151,6 +180,62 @@ class SimulationConfig:
             )
         if self.assignment_rounds < 1:
             raise ValueError("assignment_rounds must be >= 1")
+        if self.adaptive_window:
+            if self.batch_window_s <= 0:
+                raise ValueError(
+                    "adaptive_window requires batched dispatch "
+                    "(batch_window_s > 0): immediate per-request dispatch "
+                    "has no window to retune"
+                )
+            if self.window_min_s is None or self.window_max_s is None:
+                raise ValueError(
+                    "adaptive_window requires both window_min_s and "
+                    "window_max_s (the clamp band)"
+                )
+            if not 0 < self.window_min_s <= self.window_max_s:
+                raise ValueError(
+                    "need 0 < window_min_s <= window_max_s, got "
+                    f"[{self.window_min_s:g}, {self.window_max_s:g}]"
+                )
+            if not (
+                self.window_min_s <= self.batch_window_s <= self.window_max_s
+            ):
+                raise ValueError(
+                    f"batch_window_s ({self.batch_window_s:g}) is the "
+                    "initial window and must lie inside "
+                    f"[window_min_s, window_max_s] = "
+                    f"[{self.window_min_s:g}, {self.window_max_s:g}]"
+                )
+            if not 0.0 < self.adaptive_ewma_alpha <= 1.0:
+                raise ValueError("adaptive_ewma_alpha must be in (0, 1]")
+            if self.adaptive_target_batch <= 0:
+                raise ValueError("adaptive_target_batch must be positive")
+            if self.adaptive_latency_headroom <= 0:
+                raise ValueError("adaptive_latency_headroom must be positive")
+            overlap_fraction = self.quote_overlap_s / self.batch_window_s
+            if (
+                self.window_max_s * (1.0 + overlap_fraction)
+                >= self.constraints.max_wait_seconds
+            ):
+                raise ValueError(
+                    "window_max_s plus its proportional quote overlap "
+                    f"({self.window_max_s * (1.0 + overlap_fraction):g}) "
+                    "must stay under the waiting-time guarantee "
+                    f"({self.constraints.max_wait_seconds:g} s): requests "
+                    "held through a maximal window would already have "
+                    "expired at commit"
+                )
+        elif self.window_min_s is not None or self.window_max_s is not None:
+            raise ValueError(
+                "window_min_s/window_max_s are the adaptive clamp band "
+                "and require adaptive_window=True"
+            )
+        if self.carry_over and self.batch_window_s <= 0:
+            raise ValueError(
+                "carry_over requires batched dispatch (batch_window_s > 0): "
+                "immediate per-request dispatch has no next window to "
+                "carry into"
+            )
         if self.num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         from repro.dispatch.sharding import SHARD_BACKENDS

@@ -33,9 +33,11 @@ class Event:
     arrivals, a ``(vehicle_id, plan_version)`` pair for stop arrivals
     (stale versions are dropped — vehicles re-plan), a vehicle id for
     location reports, ``None`` for periodic batch-dispatch flushes, and
-    the in-flight pipeline stage (batch +
-    :class:`~repro.dispatch.quoting.PendingQuotes`) for quote
-    completions.
+    the in-flight pipeline stage — ``(batch,
+    :class:`~repro.dispatch.quoting.PendingQuotes`, carry deadline)`` —
+    for quote completions (the carry deadline is the next flush's
+    commit instant, or ``None`` when carry-over is off or no next flush
+    exists).
     """
 
     time: float

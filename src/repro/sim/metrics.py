@@ -142,6 +142,24 @@ class SimulationReport:
     #: Flushes whose shard plan silently degenerated to one global shard
     #: (no grid index / no coordinates) despite more being requested.
     shard_fallbacks: int = 0
+    #: Adaptive batching (repro.dispatch.adaptive): per-flush window and
+    #: overlap lengths as scheduled by the window controller, plus the
+    #: full trajectory (flush time, window_s, overlap_s) — the record
+    #: BENCH_adaptive.json tracks. Populated for every batched run (the
+    #: fixed controller's trajectory is constant).
+    window_s_stats: RunningStats = field(default_factory=RunningStats)
+    window_trajectory: list = field(default_factory=list)
+    #: Carry-over batching: carried requests per flush (0 when disabled),
+    #: request age in seconds at each carry event, total carry events,
+    #: and the most flushes any single request rode along.
+    carried_per_flush: RunningStats = field(default_factory=RunningStats)
+    carry_age_s: RunningStats = field(default_factory=RunningStats)
+    carry_events: int = 0
+    max_carries: int = 0
+    #: Request-to-assignment latency (commit time minus request time) per
+    #: assigned request; 0 under immediate dispatch, and the metric the
+    #: adaptive window shortens off-peak.
+    assign_latency_s: RunningStats = field(default_factory=RunningStats)
     #: Staged quote pipeline (repro.dispatch.quoting): per-flush quote
     #: stage wall time, stale columns re-quoted at commit, and the
     #: fraction of quote wall time that overlapped event execution
@@ -192,20 +210,41 @@ class SimulationReport:
 
     def record_batch(self, batch) -> None:
         """Fold one :class:`~repro.dispatch.policies.BatchResult` in
-        (empty flushes are not recorded)."""
-        if batch.batch_size == 0:
+        (empty flushes are not recorded). Batch size counts every
+        request the flush handled — settled and carried alike."""
+        size = batch.batch_size + len(batch.carried)
+        if size == 0:
             return
         self.num_batches += 1
-        self.batch_sizes.add(batch.batch_size)
+        self.batch_sizes.add(size)
         self.solver_seconds.add(batch.solver_seconds)
         self.batch_rejections.add(batch.num_rejected)
-        for size in batch.shard_sizes:
-            self.shard_sizes.add(size)
+        self.carried_per_flush.add(len(batch.carried))
+        for shard_size in batch.shard_sizes:
+            self.shard_sizes.add(shard_size)
         for seconds in batch.shard_solve_seconds:
             self.shard_solve_seconds.add(seconds)
         if batch.shard_sizes:
             self.boundary_conflicts.add(batch.boundary_conflicts)
         self.shard_fallbacks += batch.shard_fallbacks
+
+    def record_window(self, now: float, window_s: float, overlap_s: float) -> None:
+        """Record one flush's scheduled window/overlap lengths (the
+        window controller's output at that flush)."""
+        self.window_s_stats.add(window_s)
+        self.window_trajectory.append((now, window_s, overlap_s))
+
+    def record_carry(self, age_seconds: float) -> None:
+        """Record one carry event (a request re-entering the window);
+        ``age_seconds`` is how long the request had been waiting."""
+        self.carry_events += 1
+        self.carry_age_s.add(age_seconds)
+
+    def record_carry_settle(self, times_carried: int) -> None:
+        """Record a carried request finally settling (assigned or
+        rejected) after riding along ``times_carried`` flushes."""
+        if times_carried > self.max_carries:
+            self.max_carries = times_carried
 
     def record_quote_stage(self, quote_set, overlap_seconds: float) -> None:
         """Fold one flush's completed quote stage in
@@ -269,6 +308,18 @@ class SimulationReport:
             "shard_solve_ms_mean": round(self.shard_solve_seconds.mean * 1000.0, 4),
             "boundary_conflicts": int(self.boundary_conflicts.total),
             "shard_fallbacks": self.shard_fallbacks,
+            "window_s_mean": round(self.window_s_stats.mean, 4),
+            "window_s_min": round(
+                self.window_s_stats.min if self.window_s_stats.count else 0.0, 4
+            ),
+            "window_s_max": round(
+                self.window_s_stats.max if self.window_s_stats.count else 0.0, 4
+            ),
+            "assign_latency_s_mean": round(self.assign_latency_s.mean, 4),
+            "carry_events": self.carry_events,
+            "carried_per_flush_mean": round(self.carried_per_flush.mean, 3),
+            "carry_age_s_mean": round(self.carry_age_s.mean, 3),
+            "max_carries": self.max_carries,
             "pipeline_flushes": self.quote_seconds.count,
             "quote_ms_mean": round(self.quote_seconds.mean * 1000.0, 4),
             "staleness_requotes": int(self.staleness_requotes.total),
@@ -331,6 +382,30 @@ class SimulationReport:
                 lines.append(
                     f"{'shard_fallbacks':24s} {self.shard_fallbacks} "
                     "(flushes solved globally: no grid index/coords)"
+                )
+        adaptive_ran = self.window_s_stats.count and (
+            self.window_s_stats.min != self.window_s_stats.max
+        )
+        if adaptive_ran or self.carry_events:
+            lines.append("--- adaptive window / carry-over ---")
+            if self.window_s_stats.count:
+                lines.append(
+                    f"{'window_s':24s} mean {self.window_s_stats.mean:.2f} "
+                    f"min {self.window_s_stats.min:.2f} "
+                    f"max {self.window_s_stats.max:.2f}"
+                )
+            lines.append(
+                f"{'assign_latency_s':24s} mean {self.assign_latency_s.mean:.2f}"
+            )
+            lines.append(
+                f"{'carried':24s} events {self.carry_events} "
+                f"mean/flush {self.carried_per_flush.mean:.3f} "
+                f"max_carries {self.max_carries}"
+            )
+            if self.carry_events:
+                lines.append(
+                    f"{'carry_age_s':24s} mean {self.carry_age_s.mean:.2f} "
+                    f"max {self.carry_age_s.max:.2f}"
                 )
         if self.quote_seconds.count:
             lines.append("--- quote pipeline ---")

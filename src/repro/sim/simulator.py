@@ -16,6 +16,19 @@ and commits. With ``quote_workers=0`` and a zero overlap the pipeline
 degenerates to the old synchronous quote+solve+commit blob, and is
 bit-identical to it.
 
+The flush cadence is owned by a window controller
+(:mod:`repro.dispatch.adaptive`): each flush asks the controller for
+the next window and overlap lengths. The fixed controller echoes the
+configured constants (bit-identical to the pre-controller chain); with
+``adaptive_window=True`` the window is retuned per flush from the
+observed arrival intensity, clamped to the configured band. With
+``carry_over=True``, requests that end a flush unassigned but whose
+wait budget still reaches the next flush's commit instant re-enter the
+window (:class:`~repro.dispatch.policies.CarriedRequest`) instead of
+being settled in-batch; their accumulated response-time debt is folded
+into the final :class:`~repro.core.matching.AssignmentResult` when a
+later flush settles them.
+
 Event causality: committed plans are versioned — when a vehicle is
 re-planned (wins a request), its in-flight stop-arrival event becomes
 stale and is dropped when popped; the commit schedules a fresh one.
@@ -29,6 +42,7 @@ import numpy as np
 
 from repro.core.matching import Dispatcher
 from repro.dispatch import BatchDispatcher, BatchWindow, QuoteService, make_policy
+from repro.dispatch.adaptive import make_window_controller
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fleet import build_fleet
@@ -89,6 +103,14 @@ class Simulation:
             if config.batch_window_s > 0
             else None
         )
+        #: Owns the flush cadence: fixed (config constants, bit-identical
+        #: to the pre-controller chain) or adaptive (per-flush retune).
+        self.window_controller = make_window_controller(config)
+        self._arrivals_since_flush = 0
+        #: Carry-over debt: request_id -> (elapsed, quote_timings,
+        #: times_carried) accumulated over the flushes a request lost,
+        #: folded into its final AssignmentResult at settle.
+        self._carry_debt: dict[int, tuple[float, list, int]] = {}
         self.quote_service = QuoteService(
             workers=config.quote_workers, backend=config.quote_backend
         )
@@ -170,19 +192,35 @@ class Simulation:
             self._dispatch_batch([request], now, queue)
         else:
             self.batch_window.add(request)
+            self._arrivals_since_flush += 1
 
     def _handle_batch_flush(self, now: float, queue: EventQueue) -> None:
-        """Periodic ``BATCH_DISPATCH``: snapshot the window's accumulated
-        requests and *issue* their quote stage; the matching
-        ``QUOTE_READY`` event ``quote_overlap_s`` later solves and
-        commits. Then schedule the next flush — the chain runs until the
-        first flush at or after the last request arrival (same flush
-        instants as the old ``next <= horizon + window`` rule, but immune
-        to float accumulation stopping the chain one window early and
-        stranding tail requests)."""
+        """Periodic ``BATCH_DISPATCH``: retune the window controller on
+        the flush-to-flush arrival count, snapshot the window's
+        accumulated requests and *issue* their quote stage; the matching
+        ``QUOTE_READY`` event one (possibly retuned) overlap later
+        solves and commits. Then schedule the next flush — the chain
+        runs until the first flush at or after the last request arrival
+        (same flush instants as the old ``next <= horizon + window``
+        rule, but immune to float accumulation stopping the chain one
+        window early and stranding tail requests)."""
+        controller = self.window_controller
+        controller.on_flush(now, self._arrivals_since_flush)
+        self._arrivals_since_flush = 0
+        self.batch_window.window_s = controller.window_s
+        self.report.record_window(now, controller.window_s, controller.overlap_s)
+        next_flush = now + controller.window_s if now < self.horizon else None
         requests = self.batch_window.flush()
         if requests:
-            commit_time = now + self.config.quote_overlap_s
+            commit_time = now + controller.overlap_s
+            # Carry bound: a carried request must still be assignable at
+            # the *next* flush's commit. That commit's overlap is only
+            # retuned at the next flush, so the current overlap stands
+            # in — deterministically; a request carried on a slightly
+            # stale bound just takes the normal rejection path there.
+            carry_deadline = None
+            if self.config.carry_over and next_flush is not None:
+                carry_deadline = next_flush + controller.overlap_s
             pending = None
             if self.batch_dispatcher.policy.uses_quote_set:
                 # Quote stage: candidate filtering and decision points
@@ -193,18 +231,18 @@ class Simulation:
                 )
             queue.push(
                 Event(
-                    commit_time, EventKind.QUOTE_READY, (requests, pending)
+                    commit_time,
+                    EventKind.QUOTE_READY,
+                    (requests, pending, carry_deadline),
                 )
             )
-        if now < self.horizon:
-            queue.push(
-                Event(now + self.config.batch_window_s, EventKind.BATCH_DISPATCH)
-            )
+        if next_flush is not None:
+            queue.push(Event(next_flush, EventKind.BATCH_DISPATCH))
 
     def _handle_quote_ready(self, payload, now: float, queue: EventQueue) -> None:
         """Commit stage: collect the flush's quotes (re-quoting stale
         columns), then solve and commit through the policy."""
-        requests, pending = payload
+        requests, pending, carry_deadline = payload
         quote_set = None
         if pending is not None:
             collect_start = _time.perf_counter()
@@ -226,24 +264,61 @@ class Simulation:
                 )
             )
             self.report.record_quote_stage(quote_set, overlapped)
-        self._dispatch_batch(requests, now, queue, quote_set=quote_set)
+            self.window_controller.observe_quote_stage(quote_set.quote_seconds)
+        self._dispatch_batch(
+            requests, now, queue, quote_set=quote_set, carry_deadline=carry_deadline
+        )
 
     def _dispatch_batch(
-        self, requests, now: float, queue: EventQueue, quote_set=None
+        self,
+        requests,
+        now: float,
+        queue: EventQueue,
+        quote_set=None,
+        carry_deadline: float | None = None,
     ) -> None:
         """Assign one batch and fold the outcome into the report; each
         winning vehicle gets exactly one fresh stop event (its final
-        post-batch plan), and one location report."""
-        batch = self.batch_dispatcher.dispatch(requests, now, quote_set=quote_set)
+        post-batch plan), and one location report. Carried requests
+        (carry-over batching) re-enter the window for the next flush,
+        accumulating their response-time debt until a later flush
+        settles them; ``carry_deadline=None`` (immediate dispatch, the
+        end-of-run safety net, final flushes) settles everything here."""
+        batch = self.batch_dispatcher.dispatch(
+            requests, now, quote_set=quote_set, carry_deadline=carry_deadline
+        )
         self.report.record_batch(batch)
+        if batch.carried:
+            for item in batch.carried:
+                rid = item.request.request_id
+                elapsed, timings, times = self._carry_debt.pop(
+                    rid, (0.0, [], 0)
+                )
+                self._carry_debt[rid] = (
+                    elapsed + item.elapsed,
+                    timings + item.quote_timings,
+                    times + 1,
+                )
+                self.report.record_carry(now - item.request.request_time)
+            self.batch_window.carry(item.request for item in batch.carried)
         winners: dict[int, object] = {}
         for result in batch.results:
+            debt = self._carry_debt.pop(result.request.request_id, None)
+            if debt is not None:
+                elapsed, timings, times = debt
+                result.elapsed += elapsed
+                result.quote_timings = timings + result.quote_timings
+                self.report.record_carry_settle(times)
             self.report.record_assignment(result)
             if result.assigned:
+                self.report.assign_latency_s.add(
+                    now - result.request.request_time
+                )
                 self.report.service_log[result.request.request_id] = {
                     "request": result.request,
                     "vehicle": result.winner.vehicle.vehicle_id,
                     "assigned_cost": result.cost,
+                    "assigned_at": now,
                 }
                 winners[result.winner.vehicle.vehicle_id] = result.winner
         for agent in winners.values():

@@ -59,6 +59,17 @@ def test_sharded_dispatch_small():
     assert "boundary_conflicts" in out
 
 
+def test_adaptive_window_small():
+    out = run_example(
+        "adaptive_window.py", "--vehicles", "6",
+        "--offpeak-trips", "20", "--peak-trips", "80",
+    )
+    assert "service-guarantee audit" in out
+    assert "adaptive window trajectory" in out
+    assert "surge" in out and "lull" in out
+    assert "adaptive window / carry-over" in out  # the report's section
+
+
 @pytest.mark.slow
 def test_airport_hotspot():
     out = run_example("airport_hotspot.py", timeout=600.0)

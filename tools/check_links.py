@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Markdown link checker for the repo's documentation (stdlib only).
+
+Scans ``README.md`` and ``docs/**/*.md`` for inline markdown links and
+verifies every non-HTTP target resolves:
+
+* relative paths must exist on disk (relative to the linking file);
+* ``#anchors`` (same-file or ``path.md#anchor``) must match a heading
+  in the target file, using GitHub's slugification.
+
+HTTP(S) links are recorded but not fetched (CI has no network
+guarantee). Exit code 0 = all links resolve; 1 = at least one broken
+link, each printed as ``file:line: message``.
+
+Run:  python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: Inline markdown links: [text](target) — images share the syntax.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style heading -> anchor slug."""
+    text = heading.strip().lower()
+    # Inline code/emphasis markers vanish (underscores stay — GitHub
+    # keeps them), then everything that is not a word character, space
+    # or hyphen.
+    text = re.sub(r"[`*]", "", text)
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s+", "-", text.strip())
+
+
+def markdown_files(root: str) -> list[str]:
+    """The documentation surface this checker owns."""
+    files = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        files.append(readme)
+    docs = os.path.join(root, "docs")
+    for dirpath, _dirnames, filenames in os.walk(docs):
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def heading_slugs(path: str) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slugs.add(slugify(match.group(1)))
+    return slugs
+
+
+def iter_links(path: str):
+    """Yield ``(line_number, target)`` for every inline link, skipping
+    fenced code blocks and inline code spans."""
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            stripped = re.sub(r"`[^`]*`", "", line)  # drop inline code
+            for match in LINK_RE.finditer(stripped):
+                yield lineno, match.group(1)
+
+
+def check_links(root: str) -> list[str]:
+    """Return a list of ``file:line: message`` strings (empty = clean)."""
+    errors: list[str] = []
+    for md_path in markdown_files(root):
+        rel_md = os.path.relpath(md_path, root)
+        base_dir = os.path.dirname(md_path)
+        for lineno, target in iter_links(md_path):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(os.path.join(base_dir, path_part))
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{rel_md}:{lineno}: broken path {target!r} "
+                        f"(no such file {os.path.relpath(resolved, root)!r})"
+                    )
+                    continue
+                anchor_file = resolved
+            else:
+                anchor_file = md_path
+            if anchor:
+                if not anchor_file.endswith(".md") or os.path.isdir(anchor_file):
+                    continue  # anchors into non-markdown: not checkable
+                if anchor.lower() not in heading_slugs(anchor_file):
+                    errors.append(
+                        f"{rel_md}:{lineno}: broken anchor {target!r} "
+                        f"(no heading slug {anchor!r} in "
+                        f"{os.path.relpath(anchor_file, root)!r})"
+                    )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    root = os.path.abspath(
+        args[0]
+        if args
+        else os.path.join(os.path.dirname(__file__), "..")
+    )
+    files = markdown_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 1
+    errors = check_links(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(os.path.relpath(f, root) for f in files)
+    print(f"checked {len(files)} file(s): {checked} — "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
