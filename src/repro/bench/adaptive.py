@@ -80,6 +80,20 @@ def bimodal_trips(
     return trips, offpeak_s
 
 
+def latency_percentiles(report) -> dict:
+    """Assignment-latency p50/p99 from the run's metrics registry.
+
+    The registry histogram streams samples into log buckets, so the
+    quantiles come without storing the latency list — the same numbers
+    ``--metrics-out`` exports.
+    """
+    latency = report.registry.histogram("assign.latency_s")
+    return {
+        "assign_latency_s_p50": round(latency.quantile(0.50) or 0.0, 4),
+        "assign_latency_s_p99": round(latency.quantile(0.99) or 0.0, 4),
+    }
+
+
 def phase_metrics(report, trips, split: float) -> dict:
     """Split one run's request outcomes at the phase boundary."""
     n_off = sum(1 for t in trips if t.request_time < split)
@@ -187,6 +201,7 @@ def run_adaptive_bench(
         label = f"fixed_{window:g}"
         report = run_cell(batch_window_s=window)
         cell = phase_metrics(report, trips, split)
+        cell.update(latency_percentiles(report))
         cell.update(
             {
                 "batch_window_s": window,
@@ -209,6 +224,7 @@ def run_adaptive_bench(
     rerun = run_cell(**adaptive_overrides)
     windows = [w for _, w, _ in report.window_trajectory]
     cell = phase_metrics(report, trips, split)
+    cell.update(latency_percentiles(report))
     cell.update(
         {
             "window_min_s": window_min_s,

@@ -68,6 +68,29 @@ def _deterministic_state(report) -> dict:
     }
 
 
+def stage_breakdown(report) -> dict:
+    """Per-stage flush timings from the run's metrics registry.
+
+    The same log-bucket histograms ``--metrics-out`` exports: the full
+    flush wall (collect + solve + commit + cleanup), the quote stage,
+    and the solver — each as mean/p50/p99 milliseconds.
+    """
+    stages = {}
+    for stage, metric in (
+        ("flush_total", "flush.total_s"),
+        ("quote", "flush.quote_s"),
+        ("solve", "flush.solve_s"),
+    ):
+        hist = report.registry.histogram(metric)
+        stages[stage] = {
+            "count": hist.count,
+            "mean_ms": round((hist.mean or 0.0) * 1000.0, 4),
+            "p50_ms": round((hist.quantile(0.50) or 0.0) * 1000.0, 4),
+            "p99_ms": round((hist.quantile(0.99) or 0.0) * 1000.0, 4),
+        }
+    return stages
+
+
 def run_pipeline_bench(
     out_path: str | None = DEFAULT_OUT,
     grid_side: int = 48,
@@ -137,6 +160,9 @@ def run_pipeline_bench(
             "service_rate": summary["service_rate"],
             "assigned": summary["assigned"],
             "guarantee_violations": len(report.verify_service_guarantees()),
+            "assign_latency_s_p50": summary["assign_latency_s_p50"],
+            "assign_latency_s_p99": summary["assign_latency_s_p99"],
+            "stages": stage_breakdown(report),
         }
     runs["async_thread"]["matches_deferred"] = (
         states["async_thread"] == states["deferred"]

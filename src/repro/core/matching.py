@@ -22,11 +22,11 @@ Two agent families exist:
 from __future__ import annotations
 
 import abc
-import time as _time
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.constants import SPEED_MPS
+from repro.obs.trace import NULL_TRACER, clock
 from repro.core.kinetic.tree import EPSILON as TREE_EPSILON
 from repro.core.kinetic.tree import KineticTree, KineticTrial
 from repro.core.problem import ScheduleResult, SchedulingProblem
@@ -439,6 +439,9 @@ class Dispatcher:
         self.grid_index = grid_index
         self.staleness_seconds = staleness_seconds
         self.objective = objective
+        #: The run's span collector (repro.obs); the simulator swaps in
+        #: its own. Write-only: no matching decision ever reads it.
+        self.tracer = NULL_TRACER
         self._next_request_id = 0
 
     # ------------------------------------------------------------------
@@ -486,16 +489,19 @@ class Dispatcher:
 
     def submit(self, request: TripRequest, now: float) -> AssignmentResult:
         """Quote all candidates, assign the cheapest, commit the winner."""
-        started = _time.perf_counter()
+        # The stopwatches stay even when untraced: elapsed feeds ACRT
+        # and the per-quote stamps feed the ART buckets either way. The
+        # tracer just gets the same stamps as a finished span.
+        started = clock()
         quote_timings: list[tuple[int, float]] = []
         best: Quote | None = None
         best_key = float("inf")
         candidates = self.candidates(request)
         for agent in candidates:
             active = agent.num_active_trips
-            t0 = _time.perf_counter()
+            t0 = clock()
             quote = agent.quote(request, now)
-            quote_timings.append((active, _time.perf_counter() - t0))
+            quote_timings.append((active, clock() - t0))
             if quote is None:
                 continue
             key = quote.cost
@@ -513,7 +519,16 @@ class Dispatcher:
                 best_key = key
         if best is not None:
             best.agent.commit(best)
-        elapsed = _time.perf_counter() - started
+        elapsed = clock() - started
+        self.tracer.emit(
+            "submit",
+            "dispatch",
+            started,
+            started + elapsed,
+            request=request.request_id,
+            candidates=len(candidates),
+            assigned=best is not None,
+        )
         return AssignmentResult(
             request=request,
             winner=best.agent if best is not None else None,

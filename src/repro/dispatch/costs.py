@@ -22,13 +22,13 @@ immediate dispatch agree on near-ties that land in the same snap bucket
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.matching import Dispatcher, Quote, VehicleAgent
 from repro.core.request import TripRequest
+from repro.obs.trace import clock
 
 #: Immediate dispatch (:meth:`Dispatcher.submit`) treats assignment keys
 #: within ``1e-9`` as equal and breaks the tie toward the lowest vehicle
@@ -150,12 +150,12 @@ def quote_column(
     """
     active = agent.num_active_trips
     plan_cost = agent.current_plan_cost() if objective == "delta" else 0.0
-    t0 = _time.perf_counter()
+    t0 = clock()
     if decision is None:
         quotes = agent.quote_batch(requests, now)
     else:
         quotes = agent.quote_batch_at(requests, decision[0], decision[1])
-    per_quote = (_time.perf_counter() - t0) / len(requests)
+    per_quote = (clock() - t0) / len(requests)
     return ColumnQuotes(
         quotes=quotes,
         active_trips=active,

@@ -42,7 +42,6 @@ in-batch cleanup/rejection path exactly as before.
 from __future__ import annotations
 
 import abc
-import time as _time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,6 +50,7 @@ from repro.core.matching import AssignmentResult, Dispatcher
 from repro.core.request import TripRequest
 from repro.dispatch.quoting import QuoteService, QuoteSet
 from repro.dispatch.solver import solve_assignment
+from repro.obs.trace import NULL_TRACER, clock
 
 
 @dataclass(slots=True)
@@ -161,30 +161,40 @@ class GreedyPolicy(DispatchPolicy):
     name = "greedy"
 
     def assign(self, dispatcher, requests, now, quote_set=None, carry_deadline=None):
+        tracer = getattr(dispatcher, "tracer", NULL_TRACER)
         results: list[AssignmentResult] = []
         carried: list[CarriedRequest] = []
-        for request in requests:
-            result = dispatcher.submit(request, now)
-            if (
-                not result.assigned
-                and carry_deadline is not None
-                and request.pickup_deadline >= carry_deadline
-            ):
-                carried.append(
-                    CarriedRequest(
-                        request=request,
-                        elapsed=result.elapsed,
-                        quote_timings=result.quote_timings,
-                    )
+        with tracer.span(
+            "commit", cat="commit", policy=self.name, requests=len(requests)
+        ):
+            for request in requests:
+                result = dispatcher.submit(request, now)
+                self._settle(
+                    result, request, carry_deadline, results, carried
                 )
-            else:
-                results.append(result)
         return BatchResult(
             results=results,
             carried=carried,
             solver_seconds=0.0,
             rounds=0,
         )
+
+    @staticmethod
+    def _settle(result, request, carry_deadline, results, carried):
+        if (
+            not result.assigned
+            and carry_deadline is not None
+            and request.pickup_deadline >= carry_deadline
+        ):
+            carried.append(
+                CarriedRequest(
+                    request=request,
+                    elapsed=result.elapsed,
+                    quote_timings=result.quote_timings,
+                )
+            )
+        else:
+            results.append(result)
 
 
 class _AssignmentRoundsPolicy(DispatchPolicy):
@@ -218,7 +228,8 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         return solve_assignment(matrix.keys), None
 
     def assign(self, dispatcher, requests, now, quote_set=None, carry_deadline=None):
-        started = _time.perf_counter()
+        tracer = getattr(dispatcher, "tracer", NULL_TRACER)
+        started = clock()
         if quote_set is not None:
             # Round 1's quoting already ran in the pipeline's quote
             # stage; credit its wall time into the batch span so the
@@ -256,7 +267,15 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                 # ran (and repaired staleness) for exactly this batch.
                 matrix = quote_set.matrix
             else:
-                matrix = self.quote_service.build(dispatcher, batch, now).matrix
+                with tracer.span(
+                    "quote",
+                    cat="quote",
+                    round=rounds_used + 1,
+                    requests=len(batch),
+                ):
+                    matrix = self.quote_service.build(
+                        dispatcher, batch, now
+                    ).matrix
             rounds_used += 1
             for row, i in enumerate(pending):
                 art_samples[i].extend(matrix.row_timings(row))
@@ -277,9 +296,20 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                     num_candidates=matrix.candidate_counts[row],
                     quote_timings=art_samples[i],
                 )
-            t0 = _time.perf_counter()
-            pairs, shard_outcome = self._solve_matrix(dispatcher, matrix)
-            solver_seconds += _time.perf_counter() - t0
+            # The solver stopwatch stays even when untraced: its sum
+            # feeds BatchResult.solver_seconds either way. The span adds
+            # the per-round decomposition (per-shard children attach to
+            # it inside the sharded solve).
+            with tracer.span(
+                "solve",
+                cat="solve",
+                round=rounds_used,
+                rows=int(matrix.keys.shape[0]),
+                cols=int(matrix.keys.shape[1]),
+            ):
+                t0 = clock()
+                pairs, shard_outcome = self._solve_matrix(dispatcher, matrix)
+                solver_seconds += clock() - t0
             if shard_outcome is not None:
                 shard_sizes.extend(shard_outcome.shard_sizes)
                 shard_solve_seconds.extend(shard_outcome.shard_seconds)
@@ -287,18 +317,21 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                 if shard_outcome.fallback_reason is not None:
                     shard_fallbacks += 1
             assigned_rows = set()
-            for row, col in pairs:
-                quote = matrix.quotes[row][col]
-                quote.agent.commit(quote)
-                results[pending[row]] = AssignmentResult(
-                    request=quote.request,
-                    winner=quote.agent,
-                    cost=quote.cost,
-                    elapsed=0.0,
-                    num_candidates=matrix.candidate_counts[row],
-                    quote_timings=art_samples[pending[row]],
-                )
-                assigned_rows.add(row)
+            with tracer.span(
+                "commit", cat="commit", round=rounds_used, pairs=len(pairs)
+            ):
+                for row, col in pairs:
+                    quote = matrix.quotes[row][col]
+                    quote.agent.commit(quote)
+                    results[pending[row]] = AssignmentResult(
+                        request=quote.request,
+                        winner=quote.agent,
+                        cost=quote.cost,
+                        elapsed=0.0,
+                        num_candidates=matrix.candidate_counts[row],
+                        quote_timings=art_samples[pending[row]],
+                    )
+                    assigned_rows.add(row)
             pending = [
                 i
                 for row, i in enumerate(pending)
@@ -311,19 +344,18 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         # resolved greedily in-batch); everyone else takes the cleanup —
         # a sequential re-quote against the updated schedules, where a
         # vehicle that won a request above can still pool a second one.
-        for i in pending:
-            if carries_over(i):
-                carried_idx.add(i)
-                continue
-            result = dispatcher.submit(requests[i], now)
-            result.quote_timings = art_samples[i] + result.quote_timings
-            results[i] = result
+        with tracer.span("cleanup", cat="commit", pending=len(pending)):
+            for i in pending:
+                if carries_over(i):
+                    carried_idx.add(i)
+                    continue
+                result = dispatcher.submit(requests[i], now)
+                result.quote_timings = art_samples[i] + result.quote_timings
+                results[i] = result
         # Each request's ACRT contribution is an even share of the batch
         # wall time (the whole batch was answered by one solve); carried
         # requests take their share along as debt and settle it later.
-        share = (
-            (_time.perf_counter() - started) / len(requests) if requests else 0.0
-        )
+        share = (clock() - started) / len(requests) if requests else 0.0
         ordered = []
         carried = []
         for i in range(len(requests)):
@@ -416,7 +448,12 @@ class ShardedPolicy(_AssignmentRoundsPolicy):
             grid_index=dispatcher.grid_index,
             coords=dispatcher.engine.graph.coords,
         )
-        outcome = solve_sharded(matrix.keys, plan, self.executor)
+        outcome = solve_sharded(
+            matrix.keys,
+            plan,
+            self.executor,
+            tracer=getattr(dispatcher, "tracer", NULL_TRACER),
+        )
         return outcome.pairs, outcome
 
     def close(self) -> None:

@@ -40,7 +40,6 @@ the agent's committed schedule and the engine.
 
 from __future__ import annotations
 
-import time as _time
 from concurrent.futures import Future
 from dataclasses import dataclass
 
@@ -55,6 +54,7 @@ from repro.dispatch.costs import (
     quote_column,
 )
 from repro.dispatch.sharding.executor import WorkerPool
+from repro.obs.trace import NULL_TRACER, clock
 
 #: Backends :class:`QuoteService` accepts. ``process`` is deliberately
 #: absent: quoting reads live agent schedules (kinetic trees, pending
@@ -134,9 +134,7 @@ class PendingQuotes:
         self.now = now
         self.columns = columns
         self.epochs = epochs
-        self.began_perf = (
-            _time.perf_counter() if began_perf is None else began_perf
-        )
+        self.began_perf = clock() if began_perf is None else began_perf
         #: Stamped when the issue prologue finished (begin's last line).
         self.issued_perf = self.began_perf
 
@@ -157,16 +155,29 @@ class PendingQuotes:
         """
         plan = self.plan
         objective = self.dispatcher.objective
+        tracer = self.service.tracer
         if self.columns is None:
             # Deferred synchronous stage: the degenerate pipeline. Its
             # wall time starts here — nothing ran between begin and
             # collect, so none of it can overlap event execution.
-            t0 = _time.perf_counter()
-            columns = [
-                quote_column(agent, self._column_requests(col), self.now, objective)
-                for col, agent in enumerate(plan.agents)
-            ]
-            finished = _time.perf_counter()
+            t0 = clock()
+            columns = []
+            for col, agent in enumerate(plan.agents):
+                c0 = clock() if tracer.enabled else 0.0
+                quoted = quote_column(
+                    agent, self._column_requests(col), self.now, objective
+                )
+                columns.append(quoted)
+                if tracer.enabled:
+                    tracer.emit(
+                        "quote.column",
+                        "quote",
+                        c0,
+                        clock(),
+                        vehicle=agent.vehicle.vehicle_id,
+                        rows=len(plan.rows_by_col[col]),
+                    )
+            finished = clock()
             return QuoteSet(
                 matrix=assemble_matrix(plan, columns),
                 quoted_at=self.now,
@@ -198,11 +209,21 @@ class PendingQuotes:
             else:
                 columns.append(quoted)
         for col in stale:
+            c0 = clock() if tracer.enabled else 0.0
             columns[col] = quote_column(
                 plan.agents[col], self._column_requests(col), self.now, objective
             )
+            if tracer.enabled:
+                tracer.emit(
+                    "quote.requote",
+                    "quote",
+                    c0,
+                    clock(),
+                    vehicle=plan.agents[col].vehicle.vehicle_id,
+                    rows=len(plan.rows_by_col[col]),
+                )
         if stale:
-            finished = max(finished, _time.perf_counter())
+            finished = max(finished, clock())
         return QuoteSet(
             matrix=assemble_matrix(plan, columns),
             quoted_at=self.now,
@@ -216,10 +237,25 @@ class PendingQuotes:
         )
 
 
-def _quote_task(agent, requests, now, objective, decision):
-    """One worker-side column quote; stamps its completion time."""
+def _quote_task(agent, requests, now, objective, decision, tracer, parent):
+    """One worker-side column quote; stamps its completion time.
+
+    ``parent`` is the span-id handle captured on the simulator thread at
+    quote issue — the deterministic anchor worker spans attach to,
+    whatever pool thread runs the task."""
+    t0 = clock()
     quoted = quote_column(agent, requests, now, objective, decision=decision)
-    return quoted, _time.perf_counter()
+    done = clock()
+    tracer.emit(
+        "quote.column",
+        "quote",
+        t0,
+        done,
+        parent=parent,
+        vehicle=agent.vehicle.vehicle_id,
+        rows=len(requests),
+    )
+    return quoted, done
 
 
 class QuoteService:
@@ -233,7 +269,9 @@ class QuoteService:
     *collect* repairs whatever went stale in between.
     """
 
-    def __init__(self, workers: int = 0, backend: str = "thread"):
+    def __init__(
+        self, workers: int = 0, backend: str = "thread", tracer=NULL_TRACER
+    ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if backend not in QUOTE_BACKENDS:
@@ -241,6 +279,7 @@ class QuoteService:
             raise ValueError(f"quote backend must be one of: {known}")
         self.workers = workers
         self.backend = backend
+        self.tracer = tracer
         self._pool: WorkerPool | None = None
 
     def __repr__(self) -> str:
@@ -258,7 +297,7 @@ class QuoteService:
         """Start the quote stage for one batch, valid for commit at
         ``now``. Candidate filtering and (in eager mode) decision-point
         resolution happen here, on the calling thread."""
-        began = _time.perf_counter()
+        began = clock()
         plan = plan_columns(dispatcher, requests)
         if self.workers == 0:
             # Deferred mode: nothing is quoted yet — the stage's wall
@@ -266,6 +305,10 @@ class QuoteService:
             return PendingQuotes(self, dispatcher, plan, now, None, None)
         pool = self._get_pool()
         graph = dispatcher.engine.graph
+        # Captured on this (the issuing) thread: worker column spans
+        # anchor to the currently open span — quote.issue — whatever
+        # pool thread later runs them.
+        parent = self.tracer.current_id()
         epochs: list[int] = []
         columns: list[Future] = []
         for col, agent in enumerate(plan.agents):
@@ -282,12 +325,14 @@ class QuoteService:
                     now,
                     dispatcher.objective,
                     decision,
+                    self.tracer,
+                    parent,
                 )
             )
         pending = PendingQuotes(
             self, dispatcher, plan, now, columns, epochs, began_perf=began
         )
-        pending.issued_perf = _time.perf_counter()
+        pending.issued_perf = clock()
         return pending
 
     def build(

@@ -21,12 +21,12 @@ leak into assignments.
 
 from __future__ import annotations
 
-import time as _time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
 from repro.dispatch.solver import solve_assignment
+from repro.obs.trace import NULL_TRACER, clock
 
 #: Legal ``shard_backend`` values (also what ``SimulationConfig`` takes).
 SHARD_BACKENDS = ("serial", "thread", "process")
@@ -115,9 +115,27 @@ def solve_one_shard(
     Module-level so the process backend can pickle it; ``secs`` is the
     in-worker solve time (the per-shard sample the metrics report).
     """
-    started = _time.perf_counter()
+    started = clock()
     pairs = solve_assignment(keys)
-    return shard_id, pairs, _time.perf_counter() - started
+    return shard_id, pairs, clock() - started
+
+
+def _traced_solve_one_shard(shard_id, keys, tracer, parent):
+    """In-worker traced shard solve (serial/thread backends — a tracer
+    cannot cross the process boundary; see :meth:`ShardExecutor.run`)."""
+    t0 = clock()
+    result = solve_one_shard(shard_id, keys)
+    tracer.emit(
+        "shard.solve",
+        "solve",
+        t0,
+        clock(),
+        parent=parent,
+        shard=shard_id,
+        rows=int(keys.shape[0]),
+        cols=int(keys.shape[1]),
+    )
+    return result
 
 
 class ShardExecutor:
@@ -149,15 +167,45 @@ class ShardExecutor:
 
     # ------------------------------------------------------------------
     def run(
-        self, tasks: list[tuple[int, np.ndarray]]
+        self, tasks: list[tuple[int, np.ndarray]], tracer=NULL_TRACER
     ) -> list[tuple[int, list[tuple[int, int]], float]]:
         """Solve every ``(shard_id, keys)`` task; results sorted by
-        shard id regardless of completion order."""
-        futures = [
-            self.pool.submit(solve_one_shard, sid, keys) for sid, keys in tasks
-        ]
+        shard id regardless of completion order.
+
+        With an enabled ``tracer``, each shard gets a ``shard.solve``
+        span parented to the caller's open span (the policy's ``solve``
+        span). Serial/thread backends trace in the worker; the process
+        backend cannot carry a tracer across pickling, so its spans are
+        synthesized parent-side from the returned in-worker seconds
+        (flagged ``synthetic`` — their end stamps share the join
+        instant, so only durations, not offsets, are meaningful).
+        """
+        if tracer.enabled and self.backend != "process":
+            parent = tracer.current_id()
+            futures = [
+                self.pool.submit(
+                    _traced_solve_one_shard, sid, keys, tracer, parent
+                )
+                for sid, keys in tasks
+            ]
+        else:
+            futures = [
+                self.pool.submit(solve_one_shard, sid, keys)
+                for sid, keys in tasks
+            ]
         results = [f.result() for f in futures]
         results.sort(key=lambda r: r[0])
+        if tracer.enabled and self.backend == "process":
+            joined = clock()
+            for sid, _pairs, secs in results:
+                tracer.emit(
+                    "shard.solve",
+                    "solve",
+                    joined - secs,
+                    joined,
+                    shard=sid,
+                    synthetic=True,
+                )
         return results
 
     def close(self) -> None:

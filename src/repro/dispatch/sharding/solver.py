@@ -26,6 +26,7 @@ import numpy as np
 from repro.dispatch.sharding.executor import ShardExecutor
 from repro.dispatch.sharding.partitioner import ShardPlan
 from repro.dispatch.sharding.reconciler import BoundaryReconciler
+from repro.obs.trace import NULL_TRACER
 
 
 @dataclass(slots=True)
@@ -51,12 +52,15 @@ def solve_sharded(
     plan: ShardPlan,
     executor: ShardExecutor,
     reconciler: BoundaryReconciler | None = None,
+    tracer=NULL_TRACER,
 ) -> ShardedSolveOutcome:
     """Solve one batch's ``keys`` according to ``plan``.
 
     Returns global ``(row, col)`` pairs — at most one per row and per
     column, sorted — plus the per-shard sizes/solve times and the number
-    of boundary conflicts the reconciler had to resolve.
+    of boundary conflicts the reconciler had to resolve. ``tracer``
+    (a :class:`repro.obs.Tracer`) adds per-shard ``shard.solve`` spans;
+    the default is a no-op.
     """
     tasks = [
         (
@@ -67,7 +71,7 @@ def solve_sharded(
         )
         for shard in plan.shards
     ]
-    results = executor.run(tasks)
+    results = executor.run(tasks, tracer=tracer)
 
     shards_by_id = {shard.shard_id: shard for shard in plan.shards}
     proposals: list[list[tuple[int, int]]] = []

@@ -1,0 +1,122 @@
+"""Trace analysis: per-stage breakdowns and slowest-flush drilldowns.
+
+The library behind ``tools/trace_report.py`` and
+``examples/trace_flush.py``: pure functions over the event dicts
+:func:`repro.obs.export.read_chrome_trace` loads (or
+:func:`~repro.obs.export.chrome_trace_events` produces in-process).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated quantile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = q * (len(sorted_values) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    frac = rank - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def stage_breakdown(events: list[dict]) -> list[dict]:
+    """Aggregate events by span name: count, total/mean/p50/p99 ms.
+
+    Rows are sorted by total time descending — the "where does flush
+    time go" table.
+    """
+    by_name: dict[str, list[float]] = defaultdict(list)
+    for event in events:
+        by_name[event["name"]].append(event.get("dur", 0) / 1000.0)
+    rows = []
+    for name, durs in by_name.items():
+        durs.sort()
+        rows.append(
+            {
+                "name": name,
+                "count": len(durs),
+                "total_ms": sum(durs),
+                "mean_ms": sum(durs) / len(durs),
+                "p50_ms": _percentile(durs, 0.50),
+                "p99_ms": _percentile(durs, 0.99),
+                "max_ms": durs[-1],
+            }
+        )
+    rows.sort(key=lambda r: -r["total_ms"])
+    return rows
+
+
+def slowest_flushes(events: list[dict], top: int = 5) -> list[dict]:
+    """The ``top`` slowest ``flush`` spans, each with its child spans.
+
+    Children are reassembled from ``args.parent_id`` (direct children
+    only), sorted by start time — the per-flush quote/solve/commit
+    decomposition.
+    """
+    children: dict[str, list[dict]] = defaultdict(list)
+    for event in events:
+        parent = event.get("args", {}).get("parent_id")
+        if parent is not None:
+            children[parent].append(event)
+    flushes = [e for e in events if e["name"] == "flush"]
+    flushes.sort(key=lambda e: -e.get("dur", 0))
+    out = []
+    for flush in flushes[:top]:
+        kids = sorted(
+            children.get(flush["args"]["span_id"], ()),
+            key=lambda e: e.get("ts", 0),
+        )
+        out.append(
+            {
+                "dur_ms": flush.get("dur", 0) / 1000.0,
+                "args": {
+                    k: v
+                    for k, v in flush.get("args", {}).items()
+                    if k not in ("span_id", "parent_id")
+                },
+                "children": [
+                    {
+                        "name": kid["name"],
+                        "dur_ms": kid.get("dur", 0) / 1000.0,
+                    }
+                    for kid in kids
+                ],
+            }
+        )
+    return out
+
+
+def render_stage_table(rows: list[dict]) -> str:
+    """Fixed-width text table of a :func:`stage_breakdown` result."""
+    lines = [
+        f"{'span':24s} {'count':>7s} {'total_ms':>10s} {'mean_ms':>9s} "
+        f"{'p50_ms':>9s} {'p99_ms':>9s} {'max_ms':>9s}",
+        "-" * 82,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['name']:24s} {row['count']:>7d} "
+            f"{row['total_ms']:>10.3f} {row['mean_ms']:>9.3f} "
+            f"{row['p50_ms']:>9.3f} {row['p99_ms']:>9.3f} "
+            f"{row['max_ms']:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_slowest(flushes: list[dict]) -> str:
+    """Text drilldown of a :func:`slowest_flushes` result."""
+    lines = []
+    for rank, flush in enumerate(flushes, 1):
+        context = ", ".join(
+            f"{k}={v}" for k, v in sorted(flush["args"].items())
+        )
+        lines.append(
+            f"#{rank}  flush {flush['dur_ms']:.3f} ms"
+            + (f"  ({context})" if context else "")
+        )
+        for kid in flush["children"]:
+            lines.append(f"      {kid['name']:20s} {kid['dur_ms']:>9.3f} ms")
+    return "\n".join(lines) if lines else "(no flush spans in trace)"

@@ -26,6 +26,7 @@ from repro.constants import (
     DEFAULT_ROW_CACHE_SIZE,
 )
 from repro.exceptions import DisconnectedError
+from repro.obs.trace import NULL_TRACER, clock
 from repro.roadnet.cache import ShortestPathCache, SourceRowCache
 from repro.roadnet.dijkstra import (
     dijkstra_distance,
@@ -128,6 +129,11 @@ class DijkstraEngine:
     #: later scalar queries. Engines without cross-plane caching leave
     #: this False so consumers skip discarded-result prefetches.
     batch_prefetch = True
+    #: Span collector for fan-out sweeps (repro.obs); the simulator
+    #: swaps its run's tracer in. A class attribute so un-instrumented
+    #: engines (tests, benchmarks) stay no-ops without per-instance
+    #: state. Write-only: no routing decision ever reads it.
+    tracer = NULL_TRACER
 
     def __init__(
         self,
@@ -167,6 +173,8 @@ class DijkstraEngine:
         share locality.
         """
         source = int(source)
+        tr = self.tracer
+        t0 = clock() if tr.enabled else 0.0
         out = np.empty(len(targets), dtype=np.float64)
         row = self.row_cache.get(source)
         settled, exhausted = row if row is not None else ({}, False)
@@ -202,6 +210,16 @@ class DijkstraEngine:
                         # never does: the scalar path signals
                         # unreachability by exception, not by value).
                         self.cache.put_distance(source, target, value)
+        if tr.enabled:
+            tr.emit(
+                "engine.distance_many",
+                "engine",
+                t0,
+                clock(),
+                targets=len(targets),
+                swept=len(missing),
+                row_hit=row is not None,
+            )
         return out
 
     def path(self, source: int, target: int) -> list[int]:

@@ -154,6 +154,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulated seconds between a flush (quote issue) and its "
         "solve+commit; events in the gap run while quotes compute",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record structured flush-pipeline spans (repro.obs); "
+        "telemetry never feeds dispatch, so results are bit-identical",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the spans as Chrome trace-event JSONL "
+        "(Perfetto-loadable; implies --trace)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the run's metrics registry (p50/p90/p99 latency "
+        "histograms) as metrics.json",
+    )
     return parser
 
 
@@ -186,6 +201,9 @@ def main(argv: list[str] | None = None) -> int:
         quote_workers=args.quote_workers,
         quote_backend=args.quote_backend,
         quote_overlap_s=args.quote_overlap,
+        trace=args.trace or args.trace_out is not None,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
         seed=args.seed,
     )
     print(
@@ -206,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
             f"  {bucket:2d} active: {stats['mean'] * 1000:9.3f} ms "
             f"({stats['count']} quotes)"
         )
+    if config.trace_out:
+        print(f"\ntrace written to {config.trace_out}")
+    if config.metrics_out:
+        print(f"metrics written to {config.metrics_out}")
     violations = report.verify_service_guarantees()
     print(f"\nservice-guarantee audit: {len(violations)} violation(s)")
     for line in violations[:10]:

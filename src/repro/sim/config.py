@@ -103,6 +103,18 @@ class SimulationConfig:
         ``make_engine(graph, config.engine_kind)``.
     grid_cell_meters:
         Grid-index cell size.
+    trace / trace_out / metrics_out:
+        Flush-pipeline telemetry (:mod:`repro.obs`). ``trace=True``
+        records structured spans (flush → snapshot → quote → solve →
+        commit, with per-shard and per-worker children) on the run's
+        :class:`~repro.obs.Tracer`; ``trace_out`` additionally writes
+        them as Chrome trace-event JSONL (Perfetto-loadable; requires
+        ``trace=True``); ``metrics_out`` writes the run's
+        :class:`~repro.obs.MetricsRegistry` (p50/p90/p99 latency
+        histograms) as ``metrics.json`` and works with tracing off.
+        Telemetry is write-only: no dispatch decision reads it, so
+        every determinism pin holds bit-for-bit with ``trace=True``
+        (``docs/determinism.md``).
     seed:
         Master seed for fleet placement and cruising.
     """
@@ -145,6 +157,9 @@ class SimulationConfig:
     #: Keep only this many cheapest schedules per tree after insertion
     #: (Section V's load shedding, generalized). ``None`` = keep all.
     tree_schedule_cap: int | None = None
+    trace: bool = False
+    trace_out: str | None = None
+    metrics_out: str | None = None
     seed: int = 0
 
     def __post_init__(self):
@@ -296,4 +311,9 @@ class SimulationConfig:
                 f"({self.constraints.max_wait_seconds:g} s): requests held "
                 "through a full window plus the quote overlap would "
                 "already have expired at commit"
+            )
+        if self.trace_out is not None and not self.trace:
+            raise ValueError(
+                "trace_out requires trace=True: there are no spans to "
+                "export from an untraced run"
             )

@@ -17,6 +17,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from statistics import mean
 
+from repro.obs.metrics import MetricsRegistry
+
+
+def _fmt_stat(value: float | None, spec: str = ".3f") -> str:
+    """Render a possibly-``None`` statistic (empty collector) as ``—``."""
+    return "—" if value is None else format(value, spec)
+
 
 class RunningStats:
     """Streaming mean/min/max/count without storing samples."""
@@ -41,12 +48,14 @@ class RunningStats:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, float | None]:
+        """Summary dict; ``min``/``max`` are ``None`` (JSON ``null``)
+        when no sample was recorded — a real 0.0 sample stays 0.0."""
         return {
             "count": self.count,
             "mean": self.mean,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
         }
 
 
@@ -173,6 +182,16 @@ class SimulationReport:
     #: counter, not an error count).
     quote_failures: int = 0
     wall_seconds: float = 0.0
+    #: The run's metrics registry (repro.obs): every record_* method
+    #: below mirrors its samples into named streaming histograms here,
+    #: which is where p50/p90/p99 come from (RunningStats keeps only
+    #: mean/min/max) and what ``metrics_out`` serializes.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: The run's span collector (a :class:`repro.obs.Tracer`, attached
+    #: by :class:`~repro.sim.simulator.Simulation`; ``None`` for
+    #: hand-built reports). ``report.tracer.records()`` is what the
+    #: trace exporters and the bench stage breakdown read.
+    tracer: object | None = None
     #: request_id -> {"request", "vehicle", "assigned_cost", "pickup",
     #: "dropoff"} — everything needed to audit the service guarantee.
     service_log: dict = field(default_factory=dict)
@@ -199,9 +218,12 @@ class SimulationReport:
         """Fold one :class:`~repro.core.matching.AssignmentResult` in."""
         self.num_requests += 1
         self.acrt.add(result.elapsed)
+        self.registry.histogram("dispatch.acrt_s").add(result.elapsed)
         self.candidate_counts.add(result.num_candidates)
+        art_hist = self.registry.histogram("quote.art_s")
         for active, seconds in result.quote_timings:
             self.art.record(active, seconds)
+            art_hist.add(seconds)
         if result.assigned:
             self.num_assigned += 1
             self.total_assignment_cost += result.cost
@@ -217,13 +239,17 @@ class SimulationReport:
             return
         self.num_batches += 1
         self.batch_sizes.add(size)
+        self.registry.histogram("flush.batch_size", unit="requests").add(size)
         self.solver_seconds.add(batch.solver_seconds)
+        self.registry.histogram("flush.solve_s").add(batch.solver_seconds)
         self.batch_rejections.add(batch.num_rejected)
         self.carried_per_flush.add(len(batch.carried))
         for shard_size in batch.shard_sizes:
             self.shard_sizes.add(shard_size)
+        shard_hist = self.registry.histogram("shard.solve_s")
         for seconds in batch.shard_solve_seconds:
             self.shard_solve_seconds.add(seconds)
+            shard_hist.add(seconds)
         if batch.shard_sizes:
             self.boundary_conflicts.add(batch.boundary_conflicts)
         self.shard_fallbacks += batch.shard_fallbacks
@@ -246,11 +272,23 @@ class SimulationReport:
         if times_carried > self.max_carries:
             self.max_carries = times_carried
 
+    def record_assign_latency(self, seconds: float) -> None:
+        """Record one assigned request's request-to-commit latency (the
+        batching delay the adaptive window trades against batch size)."""
+        self.assign_latency_s.add(seconds)
+        self.registry.histogram("assign.latency_s").add(seconds)
+
+    def record_flush_wall(self, seconds: float) -> None:
+        """Record one flush's total wall time (quote + solve + commit +
+        bookkeeping as seen by the simulator)."""
+        self.registry.histogram("flush.total_s").add(seconds)
+
     def record_quote_stage(self, quote_set, overlap_seconds: float) -> None:
         """Fold one flush's completed quote stage in
         (:class:`~repro.dispatch.quoting.QuoteSet` plus how much of its
         wall time ran concurrently with event execution)."""
         self.quote_seconds.add(quote_set.quote_seconds)
+        self.registry.histogram("flush.quote_s").add(quote_set.quote_seconds)
         self.staleness_requotes.add(quote_set.requotes)
         self.quote_failures += quote_set.failures
         if quote_set.quote_seconds > 0:
@@ -288,6 +326,8 @@ class SimulationReport:
 
     def summary(self) -> dict[str, float]:
         """Flat dict for tables and EXPERIMENTS.md."""
+        latency = self.registry.histogram("assign.latency_s")
+        solve = self.registry.histogram("flush.solve_s")
         return {
             "requests": self.num_requests,
             "assigned": self.num_assigned,
@@ -316,6 +356,9 @@ class SimulationReport:
                 self.window_s_stats.max if self.window_s_stats.count else 0.0, 4
             ),
             "assign_latency_s_mean": round(self.assign_latency_s.mean, 4),
+            "assign_latency_s_p50": round(latency.quantile(0.50) or 0.0, 4),
+            "assign_latency_s_p99": round(latency.quantile(0.99) or 0.0, 4),
+            "solver_ms_p99": round((solve.quantile(0.99) or 0.0) * 1000.0, 4),
             "carry_events": self.carry_events,
             "carried_per_flush_mean": round(self.carried_per_flush.mean, 3),
             "carry_age_s_mean": round(self.carry_age_s.mean, 3),
@@ -421,7 +464,7 @@ class SimulationReport:
             )
             lines.append(
                 f"{'overlap_ratio':24s} mean {self.overlap_ratio.mean:.3f} "
-                f"max {self.overlap_ratio.max if self.overlap_ratio.count else 0.0:.3f}"
+                f"max {_fmt_stat(self.overlap_ratio.as_dict()['max'])}"
             )
             if self.quote_failures:
                 lines.append(

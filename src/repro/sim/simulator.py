@@ -36,13 +36,12 @@ stale and is dropped when popped; the commit schedules a fresh one.
 
 from __future__ import annotations
 
-import time as _time
-
 import numpy as np
 
 from repro.core.matching import Dispatcher
 from repro.dispatch import BatchDispatcher, BatchWindow, QuoteService, make_policy
 from repro.dispatch.adaptive import make_window_controller
+from repro.obs import Tracer, clock, write_chrome_trace, write_metrics_json
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fleet import build_fleet
@@ -81,6 +80,13 @@ class Simulation:
             )
             self.grid_index = GridIndex(bounds, cell_meters=config.grid_cell_meters)
 
+        #: The run's span collector (repro.obs). Disabled (the default)
+        #: it is a literal no-op; enabled it records the staged flush
+        #: pipeline. Telemetry is write-only — nothing below ever reads
+        #: it back into a dispatch decision.
+        self.tracer = Tracer(enabled=config.trace)
+        self._flush_seq = 0
+
         self.dispatcher = Dispatcher(
             engine,
             self.agents,
@@ -88,6 +94,14 @@ class Simulation:
             staleness_seconds=config.report_interval,
             objective=config.objective,
         )
+        self.dispatcher.tracer = self.tracer
+        try:
+            # Engine fan-out spans (Dijkstra row-cache sweeps). Shared
+            # engines (bench contexts) simply follow the latest run's
+            # tracer; a disabled tracer silences them again.
+            engine.tracer = self.tracer
+        except AttributeError:
+            pass
         self.batch_dispatcher = BatchDispatcher(
             self.dispatcher,
             make_policy(
@@ -112,14 +126,17 @@ class Simulation:
         #: folded into its final AssignmentResult at settle.
         self._carry_debt: dict[int, tuple[float, list, int]] = {}
         self.quote_service = QuoteService(
-            workers=config.quote_workers, backend=config.quote_backend
+            workers=config.quote_workers,
+            backend=config.quote_backend,
+            tracer=self.tracer,
         )
         self.report = SimulationReport()
+        self.report.tracer = self.tracer
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Process every event; returns the aggregated report."""
-        started = _time.perf_counter()
+        started = clock()
         queue = EventQueue()
         for spec in self.trips:
             queue.push(Event(spec.request_time, EventKind.REQUEST_ARRIVAL, spec))
@@ -169,12 +186,20 @@ class Simulation:
             break
 
         self.quote_service.close()
-        self.report.wall_seconds = _time.perf_counter() - started
+        self.report.wall_seconds = clock() - started
         self.report.extra["engine_stats"] = getattr(
             self.engine, "stats", lambda: {}
         )()
         if self.grid_index is not None:
             self.report.extra["grid_stats"] = self.grid_index.stats()
+        if self.config.trace_out:
+            write_chrome_trace(self.tracer.records(), self.config.trace_out)
+        if self.config.metrics_out:
+            write_metrics_json(
+                self.report.registry,
+                self.config.metrics_out,
+                extra=self.report.summary(),
+            )
         return self.report
 
     # ------------------------------------------------------------------
@@ -205,69 +230,100 @@ class Simulation:
         rule, but immune to float accumulation stopping the chain one
         window early and stranding tail requests)."""
         controller = self.window_controller
-        controller.on_flush(now, self._arrivals_since_flush)
-        self._arrivals_since_flush = 0
-        self.batch_window.window_s = controller.window_s
-        self.report.record_window(now, controller.window_s, controller.overlap_s)
-        next_flush = now + controller.window_s if now < self.horizon else None
-        requests = self.batch_window.flush()
-        if requests:
-            commit_time = now + controller.overlap_s
-            # Carry bound: a carried request must still be assignable at
-            # the *next* flush's commit. That commit's overlap is only
-            # retuned at the next flush, so the current overlap stands
-            # in — deterministically; a request carried on a slightly
-            # stale bound just takes the normal rejection path there.
-            carry_deadline = None
-            if self.config.carry_over and next_flush is not None:
-                carry_deadline = next_flush + controller.overlap_s
-            pending = None
-            if self.batch_dispatcher.policy.uses_quote_set:
-                # Quote stage: candidate filtering and decision points
-                # resolve here; with quote workers the column quotes
-                # start computing while we return to executing events.
-                pending = self.quote_service.begin(
-                    self.dispatcher, requests, commit_time
-                )
-            queue.push(
-                Event(
-                    commit_time,
-                    EventKind.QUOTE_READY,
-                    (requests, pending, carry_deadline),
-                )
+        flush_id = self._flush_seq
+        self._flush_seq += 1
+        with self.tracer.span(
+            "flush.issue", flush=flush_id, sim_now=round(now, 3)
+        ) as issue_span:
+            controller.on_flush(now, self._arrivals_since_flush)
+            self._arrivals_since_flush = 0
+            self.batch_window.window_s = controller.window_s
+            self.report.record_window(
+                now, controller.window_s, controller.overlap_s
             )
+            next_flush = now + controller.window_s if now < self.horizon else None
+            with self.tracer.span("snapshot", flush=flush_id):
+                requests = self.batch_window.flush()
+            issue_span.annotate(requests=len(requests))
+            if requests:
+                commit_time = now + controller.overlap_s
+                # Carry bound: a carried request must still be assignable at
+                # the *next* flush's commit. That commit's overlap is only
+                # retuned at the next flush, so the current overlap stands
+                # in — deterministically; a request carried on a slightly
+                # stale bound just takes the normal rejection path there.
+                carry_deadline = None
+                if self.config.carry_over and next_flush is not None:
+                    carry_deadline = next_flush + controller.overlap_s
+                pending = None
+                if self.batch_dispatcher.policy.uses_quote_set:
+                    # Quote stage: candidate filtering and decision points
+                    # resolve here; with quote workers the column quotes
+                    # start computing while we return to executing events.
+                    with self.tracer.span(
+                        "quote.issue",
+                        cat="quote",
+                        flush=flush_id,
+                        requests=len(requests),
+                    ):
+                        pending = self.quote_service.begin(
+                            self.dispatcher, requests, commit_time
+                        )
+                queue.push(
+                    Event(
+                        commit_time,
+                        EventKind.QUOTE_READY,
+                        (requests, pending, carry_deadline, flush_id),
+                    )
+                )
         if next_flush is not None:
             queue.push(Event(next_flush, EventKind.BATCH_DISPATCH))
 
     def _handle_quote_ready(self, payload, now: float, queue: EventQueue) -> None:
         """Commit stage: collect the flush's quotes (re-quoting stale
-        columns), then solve and commit through the policy."""
-        requests, pending, carry_deadline = payload
-        quote_set = None
-        if pending is not None:
-            collect_start = _time.perf_counter()
-            quote_set = pending.collect()
-            # Quote wall time that ran while this thread was still
-            # executing events: the stage's span — counted from the end
-            # of the issue prologue, which ran inline in the flush
-            # handler — clipped at the moment we came back to collect
-            # it. Inline stages (deferred mode, eager serial backend)
-            # blocked this thread throughout, so nothing overlapped by
-            # construction.
-            overlapped = (
-                0.0
-                if quote_set.inline
-                else max(
-                    0.0,
-                    min(quote_set.finished_perf, collect_start)
-                    - quote_set.issued_perf,
+        columns), then solve and commit through the policy — all under
+        the flush's main ``flush`` span (its ``flush`` arg links it to
+        the issuing ``flush.issue`` span)."""
+        requests, pending, carry_deadline, flush_id = payload
+        wall_start = clock()
+        with self.tracer.span(
+            "flush", flush=flush_id, requests=len(requests), sim_now=round(now, 3)
+        ):
+            quote_set = None
+            if pending is not None:
+                collect_start = clock()
+                with self.tracer.span(
+                    "quote.collect", cat="quote", flush=flush_id
+                ) as collect_span:
+                    quote_set = pending.collect()
+                collect_span.annotate(requotes=quote_set.requotes)
+                # Quote wall time that ran while this thread was still
+                # executing events: the stage's span — counted from the end
+                # of the issue prologue, which ran inline in the flush
+                # handler — clipped at the moment we came back to collect
+                # it. Inline stages (deferred mode, eager serial backend)
+                # blocked this thread throughout, so nothing overlapped by
+                # construction.
+                overlapped = (
+                    0.0
+                    if quote_set.inline
+                    else max(
+                        0.0,
+                        min(quote_set.finished_perf, collect_start)
+                        - quote_set.issued_perf,
+                    )
                 )
+                self.report.record_quote_stage(quote_set, overlapped)
+                self.window_controller.observe_quote_stage(quote_set.quote_seconds)
+            self._dispatch_batch(
+                requests,
+                now,
+                queue,
+                quote_set=quote_set,
+                carry_deadline=carry_deadline,
+                in_flush=True,
             )
-            self.report.record_quote_stage(quote_set, overlapped)
-            self.window_controller.observe_quote_stage(quote_set.quote_seconds)
-        self._dispatch_batch(
-            requests, now, queue, quote_set=quote_set, carry_deadline=carry_deadline
-        )
+        self.report.record_flush_wall(clock() - wall_start)
 
     def _dispatch_batch(
         self,
@@ -276,6 +332,7 @@ class Simulation:
         queue: EventQueue,
         quote_set=None,
         carry_deadline: float | None = None,
+        in_flush: bool = False,
     ) -> None:
         """Assign one batch and fold the outcome into the report; each
         winning vehicle gets exactly one fresh stop event (its final
@@ -283,7 +340,22 @@ class Simulation:
         (carry-over batching) re-enter the window for the next flush,
         accumulating their response-time debt until a later flush
         settles them; ``carry_deadline=None`` (immediate dispatch, the
-        end-of-run safety net, final flushes) settles everything here."""
+        end-of-run safety net, final flushes) settles everything here.
+        ``in_flush=True`` (the pipelined path) means the caller already
+        opened the flush span and owns the flush wall-time sample."""
+        if in_flush:
+            self._commit_batch(requests, now, queue, quote_set, carry_deadline)
+            return
+        wall_start = clock()
+        with self.tracer.span(
+            "flush", requests=len(requests), sim_now=round(now, 3)
+        ):
+            self._commit_batch(requests, now, queue, quote_set, carry_deadline)
+        self.report.record_flush_wall(clock() - wall_start)
+
+    def _commit_batch(
+        self, requests, now, queue, quote_set, carry_deadline
+    ) -> None:
         batch = self.batch_dispatcher.dispatch(
             requests, now, quote_set=quote_set, carry_deadline=carry_deadline
         )
@@ -311,7 +383,7 @@ class Simulation:
                 self.report.record_carry_settle(times)
             self.report.record_assignment(result)
             if result.assigned:
-                self.report.assign_latency_s.add(
+                self.report.record_assign_latency(
                     now - result.request.request_time
                 )
                 self.report.service_log[result.request.request_id] = {

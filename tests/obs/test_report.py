@@ -1,0 +1,84 @@
+"""Trace analysis: stage breakdowns and slowest-flush drilldowns."""
+
+from repro.obs.report import (
+    render_slowest,
+    render_stage_table,
+    slowest_flushes,
+    stage_breakdown,
+)
+
+
+def event(name, ts, dur, span_id, parent_id=None, **args):
+    return {
+        "name": name,
+        "cat": "flush",
+        "ph": "X",
+        "pid": 1,
+        "tid": 0,
+        "ts": ts,
+        "dur": dur,
+        "args": {**args, "span_id": span_id, "parent_id": parent_id},
+    }
+
+
+def sample_events():
+    """Two flushes (8 ms and 2 ms) with solve/commit children plus an
+    unparented engine event."""
+    return [
+        event("flush", 0, 8000, "0:1", flush=0, requests=5),
+        event("solve", 1000, 3000, "0:2", "0:1"),
+        event("commit", 4000, 2000, "0:3", "0:1"),
+        event("flush", 10000, 2000, "0:4", flush=1, requests=1),
+        event("solve", 10500, 500, "0:5", "0:4"),
+        event("engine.distance_many", 200, 100, "0:6"),
+    ]
+
+
+def test_stage_breakdown_aggregates_by_name_sorted_by_total():
+    rows = stage_breakdown(sample_events())
+    assert [r["name"] for r in rows] == [
+        "flush",
+        "solve",
+        "commit",
+        "engine.distance_many",
+    ]
+    flush = rows[0]
+    assert flush["count"] == 2
+    assert flush["total_ms"] == 10.0
+    assert flush["mean_ms"] == 5.0
+    assert flush["p50_ms"] == 5.0  # interpolated between 2 and 8 ms
+    assert flush["max_ms"] == 8.0
+    solve = rows[1]
+    assert solve["count"] == 2 and solve["total_ms"] == 3.5
+
+
+def test_slowest_flushes_ranks_and_reassembles_children():
+    flushes = slowest_flushes(sample_events(), top=2)
+    assert [f["dur_ms"] for f in flushes] == [8.0, 2.0]
+    top = flushes[0]
+    # Children in start order; ids stripped from the surfaced args.
+    assert [c["name"] for c in top["children"]] == ["solve", "commit"]
+    assert top["args"] == {"flush": 0, "requests": 5}
+    assert flushes[1]["children"] == [{"name": "solve", "dur_ms": 0.5}]
+
+
+def test_slowest_flushes_top_limits_the_result():
+    assert len(slowest_flushes(sample_events(), top=1)) == 1
+    assert slowest_flushes([], top=3) == []
+
+
+def test_render_stage_table_is_fixed_width_text():
+    text = render_stage_table(stage_breakdown(sample_events()))
+    lines = text.splitlines()
+    assert lines[0].startswith("span")
+    assert any(line.startswith("flush") for line in lines)
+    # Every data row renders the same seven columns.
+    assert all(
+        len(line.split()) == 7 for line in lines[2:]
+    )
+
+
+def test_render_slowest_handles_empty_traces():
+    assert render_slowest([]) == "(no flush spans in trace)"
+    text = render_slowest(slowest_flushes(sample_events(), top=1))
+    assert "#1" in text and "flush 8.000 ms" in text and "solve" in text

@@ -22,9 +22,15 @@ def test_running_stats_basic():
 
 
 def test_running_stats_empty():
+    """Empty collectors export null extremes — unambiguous with a real
+    0.0 sample (which stays 0.0)."""
     stats = RunningStats()
     assert stats.mean == 0.0
+    assert stats.as_dict()["min"] is None
+    assert stats.as_dict()["max"] is None
+    stats.add(0.0)
     assert stats.as_dict()["min"] == 0.0
+    assert stats.as_dict()["max"] == 0.0
 
 
 def test_art_collector_buckets():

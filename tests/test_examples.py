@@ -70,6 +70,38 @@ def test_adaptive_window_small():
     assert "adaptive window / carry-over" in out  # the report's section
 
 
+def test_trace_flush_small(tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    out = run_example(
+        "trace_flush.py", "--vehicles", "6",
+        "--offpeak-trips", "15", "--peak-trips", "50",
+        "--trace-out", str(trace_path),
+    )
+    assert "tracing on" in out
+    assert "where flush time goes" in out
+    assert "slowest flushes" in out
+    assert "assignment latency: p50" in out
+    # The stage table really decomposes the pipeline.
+    for span in ("flush", "quote.collect", "solve", "commit"):
+        assert span in out
+    assert trace_path.exists()
+    # The written trace feeds the CLI reporter.
+    import subprocess as sp
+
+    result = sp.run(
+        [
+            sys.executable,
+            os.path.join(EXAMPLES, "..", "tools", "trace_report.py"),
+            str(trace_path),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=60.0,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "span" in result.stdout and "flush" in result.stdout
+
+
 @pytest.mark.slow
 def test_airport_hotspot():
     out = run_example("airport_hotspot.py", timeout=600.0)

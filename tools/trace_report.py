@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Summarize a flush-pipeline trace from the command line.
+
+Loads a Chrome trace-event file written by ``--trace-out`` (JSONL or a
+strict JSON array) and prints the two views ``repro.obs.report``
+computes:
+
+* the per-stage breakdown — where flush time goes, aggregated by span
+  name (count, total/mean/p50/p99/max ms), sorted by total time;
+* the top-N slowest ``flush`` spans, each decomposed into its direct
+  children (quote.collect / solve / commit / cleanup).
+
+Run:  PYTHONPATH=src python tools/trace_report.py trace.jsonl [--top 5]
+
+The script also works without PYTHONPATH from a repo checkout — it
+falls back to the sibling ``src/`` layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+try:
+    from repro.obs.export import read_chrome_trace
+    from repro.obs.report import (
+        render_slowest,
+        render_stage_table,
+        slowest_flushes,
+        stage_breakdown,
+    )
+except ImportError:  # repo-checkout fallback: tools/ sits next to src/
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    )
+    from repro.obs.export import read_chrome_trace
+    from repro.obs.report import (
+        render_slowest,
+        render_stage_table,
+        slowest_flushes,
+        stage_breakdown,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/trace_report.py",
+        description="Per-stage breakdown and slowest-flush drilldown of a "
+        "Chrome trace written by python -m repro.sim --trace-out.",
+    )
+    parser.add_argument("trace", help="trace path (JSONL or JSON array)")
+    parser.add_argument(
+        "--top", type=int, default=5, metavar="N",
+        help="how many slowest flushes to drill into (default 5)",
+    )
+    args = parser.parse_args(argv)
+    events = read_chrome_trace(args.trace)
+    if not events:
+        print(f"no events in {args.trace}")
+        return 1
+    print(f"{len(events)} events from {args.trace}\n")
+    print(render_stage_table(stage_breakdown(events)))
+    print(f"\nslowest flushes (top {args.top}):")
+    print(render_slowest(slowest_flushes(events, top=args.top)))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `trace_report.py t.jsonl | head`
+        sys.exit(0)
