@@ -665,6 +665,63 @@ def adaptive_window() -> ExperimentTable:
     )
 
 
+def chaos() -> ExperimentTable:
+    """Service rate under injected faults (fault-tolerance subsystem).
+
+    Also writes ``BENCH_chaos.json`` to the working directory so future
+    PRs have a degradation trajectory to compare against. The headline
+    claims: at a 5% mixed fault rate (quote crashes/delays, shard
+    crashes, pool deaths) the degradation ladder holds the service rate
+    within 10% of the fault-free run on both the thread and process
+    backends, every cell accounts for every request (assigned or
+    rejected, none lost), and the serial cell replays bit-identically
+    (determinism contract 10).
+    """
+    from repro.bench.chaos import GATE_RATE, run_chaos_bench
+
+    result = run_chaos_bench()
+    rows = []
+    for backend, cells in result["runs"].items():
+        for rate, cell in cells.items():
+            rows.append(
+                [
+                    backend,
+                    rate,
+                    f"{cell['service_rate']:.3f}",
+                    f"{cell['assign_latency_s_p99']:.3f}",
+                    str(cell["faults_injected"]),
+                    str(cell["retries"]),
+                    str(cell["flushes_degraded"]),
+                    "ok" if cell["accounting_ok"] else "LOST",
+                ]
+            )
+    w = result["workload"]
+    serial = result["runs"]["serial"][f"{GATE_RATE:g}"]
+    return ExperimentTable(
+        "chaos",
+        "Chaos: service rate and p99 latency under injected faults",
+        [
+            "backend",
+            "fault_rate",
+            "service_rate",
+            "p99_latency_s",
+            "faults",
+            "retries",
+            "degraded",
+            "accounting",
+        ],
+        rows,
+        notes=(
+            f"{w['num_trips']} trips / {w['num_vehicles']} vehicles, "
+            f"window {w['batch_window_s']:g}s, flush deadline "
+            f"{w['flush_deadline_s']:g}s, mixed fault plan; gate at rate "
+            f"{w['gate_rate']:g}; deterministic serial rerun: "
+            f"{'yes' if serial.get('deterministic_rerun') else 'NO'} "
+            "(BENCH_chaos.json)"
+        ),
+    )
+
+
 def ablation_objective() -> ExperimentTable:
     """Total-cost vs delta-cost assignment objective (DESIGN.md ablation)."""
     ctx = get_context(TREE_SUITE)
@@ -828,6 +885,7 @@ ALL_EXPERIMENTS = {
     "sharded_dispatch": (sharded_dispatch, "Sharded per-flush solve scaling"),
     "pipeline_overlap": (pipeline_overlap, "Staged pipeline quote/event overlap"),
     "adaptive_window": (adaptive_window, "Adaptive batch window vs fixed"),
+    "chaos": (chaos, "Service under injected faults"),
     "ablation_objective": (ablation_objective, "total vs delta objective"),
     "ablation_invalidation": (ablation_invalidation, "eager vs lazy pruning"),
     "ablation_beam": (ablation_beam, "schedule-cap load shedding"),

@@ -110,6 +110,22 @@ class ColumnQuotes:
     active_trips: int
     per_quote_seconds: float
     plan_cost: float
+    #: True when the column could not be quoted at all (the hardened
+    #: quote stage exhausted its retry budget): the matrix keeps the
+    #: column all-infeasible and writes no timing samples, so a failure
+    #: never pollutes the adaptive-throttle ART buckets.
+    failed: bool = False
+
+
+def failed_column(num_rows: int) -> ColumnQuotes:
+    """The all-infeasible placeholder for an unquotable column."""
+    return ColumnQuotes(
+        quotes=[None] * num_rows,
+        active_trips=0,
+        per_quote_seconds=0.0,
+        plan_cost=0.0,
+        failed=True,
+    )
 
 
 def plan_columns(
@@ -177,6 +193,8 @@ def assemble_matrix(
         [None] * n for _ in range(m)
     ]
     for col, quoted in enumerate(columns):
+        if quoted.failed:
+            continue
         rows = plan.rows_by_col[col]
         sample = (quoted.active_trips, quoted.per_quote_seconds)
         for row, quote in zip(rows, quoted.quotes):

@@ -50,6 +50,7 @@ from repro.core.matching import AssignmentResult, Dispatcher
 from repro.core.request import TripRequest
 from repro.dispatch.quoting import QuoteService, QuoteSet
 from repro.dispatch.solver import solve_assignment
+from repro.faults import NULL_INJECTOR
 from repro.obs.trace import NULL_TRACER, clock
 
 
@@ -67,6 +68,10 @@ class CarriedRequest:
     request: TripRequest
     elapsed: float
     quote_timings: list[tuple[int, float]]
+    #: True when the carry is the degradation ladder's doing: the
+    #: request's quote column(s) failed this flush and the carry path
+    #: rescued it instead of letting it be rejected on a fault.
+    fault_rescued: bool = False
 
 
 @dataclass(slots=True)
@@ -95,6 +100,9 @@ class BatchResult:
     #: Solve rounds whose shard plan degenerated to one global shard
     #: despite more being requested (no grid index / no coordinates).
     shard_fallbacks: int = 0
+    #: Shards re-solved serially in the parent after their fan-out task
+    #: exhausted its retry budget (sharded policy only).
+    shard_serial_rescues: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -128,6 +136,7 @@ class DispatchPolicy(abc.ABC):
         now: float,
         quote_set: QuoteSet | None = None,
         carry_deadline: float | None = None,
+        fault_deadline: float | None = None,
     ) -> BatchResult:
         """Match ``requests`` (arrival order) against the fleet at ``now``,
         committing every winning quote; returns one result per settled
@@ -144,6 +153,14 @@ class DispatchPolicy(abc.ABC):
         returned in :attr:`BatchResult.carried` instead of being
         settled in-batch. ``None`` (the default) settles every request
         here — today's behavior, bit-identical.
+
+        ``fault_deadline`` arms the degradation ladder's fault-carry
+        rung: a request whose quote column(s) *failed* this flush
+        (``quote_set.failed_rows``) and whose ``pickup_deadline`` still
+        reaches the next flush's commit instant is carried — flagged
+        ``fault_rescued`` — rather than rejected on the back of an
+        infrastructure fault. Independent of ``carry_deadline`` so the
+        rescue works even with carry-over batching disabled.
         """
 
     def __repr__(self) -> str:
@@ -160,7 +177,15 @@ class GreedyPolicy(DispatchPolicy):
 
     name = "greedy"
 
-    def assign(self, dispatcher, requests, now, quote_set=None, carry_deadline=None):
+    def assign(
+        self,
+        dispatcher,
+        requests,
+        now,
+        quote_set=None,
+        carry_deadline=None,
+        fault_deadline=None,
+    ):
         tracer = getattr(dispatcher, "tracer", NULL_TRACER)
         results: list[AssignmentResult] = []
         carried: list[CarriedRequest] = []
@@ -210,11 +235,13 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
 
     uses_quote_set = True
 
-    def __init__(self, rounds: int = 1):
+    def __init__(self, rounds: int = 1, injector=NULL_INJECTOR, retry=None):
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = rounds
-        self.quote_service = QuoteService(workers=0)
+        self.quote_service = QuoteService(
+            workers=0, injector=injector, retry=retry
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rounds={self.rounds})"
@@ -227,7 +254,15 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         policy overrides this hook)."""
         return solve_assignment(matrix.keys), None
 
-    def assign(self, dispatcher, requests, now, quote_set=None, carry_deadline=None):
+    def assign(
+        self,
+        dispatcher,
+        requests,
+        now,
+        quote_set=None,
+        carry_deadline=None,
+        fault_deadline=None,
+    ):
         tracer = getattr(dispatcher, "tracer", NULL_TRACER)
         started = clock()
         if quote_set is not None:
@@ -241,8 +276,10 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
         shard_solve_seconds: list[float] = []
         boundary_conflicts = 0
         shard_fallbacks = 0
+        shard_serial_rescues = 0
         results: dict[int, AssignmentResult] = {}
         carried_idx: set[int] = set()
+        fault_rescued_idx: set[int] = set()
         pending = list(range(len(requests)))
         # ART samples accumulate across rounds: a request quoted in three
         # rounds contributes all three rounds' quote work, not just the
@@ -288,6 +325,22 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                     # rejecting.
                     carried_idx.add(i)
                     continue
+                if (
+                    quote_set is not None
+                    and rounds_used == 1
+                    and fault_deadline is not None
+                    and row in quote_set.failed_rows
+                    and requests[i].pickup_deadline >= fault_deadline
+                ):
+                    # Fault-carry rung: the request looks infeasible
+                    # because its quote column(s) *failed*, not because
+                    # no vehicle can serve it — carry it to the next
+                    # flush instead of rejecting on an infrastructure
+                    # fault. (Round 1 only: row indices == quote-set
+                    # rows there, and later rounds re-quoted cleanly.)
+                    carried_idx.add(i)
+                    fault_rescued_idx.add(i)
+                    continue
                 results[i] = AssignmentResult(
                     request=matrix.requests[row],
                     winner=None,
@@ -316,6 +369,7 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                 boundary_conflicts += shard_outcome.boundary_conflicts
                 if shard_outcome.fallback_reason is not None:
                     shard_fallbacks += 1
+                shard_serial_rescues += shard_outcome.serial_rescues
             assigned_rows = set()
             with tracer.span(
                 "commit", cat="commit", round=rounds_used, pairs=len(pairs)
@@ -365,6 +419,7 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
                         request=requests[i],
                         elapsed=share,
                         quote_timings=art_samples[i],
+                        fault_rescued=i in fault_rescued_idx,
                     )
                 )
                 continue
@@ -380,6 +435,7 @@ class _AssignmentRoundsPolicy(DispatchPolicy):
             shard_solve_seconds=shard_solve_seconds,
             boundary_conflicts=boundary_conflicts,
             shard_fallbacks=shard_fallbacks,
+            shard_serial_rescues=shard_serial_rescues,
         )
 
 
@@ -388,8 +444,8 @@ class LapPolicy(_AssignmentRoundsPolicy):
 
     name = "lap"
 
-    def __init__(self):
-        super().__init__(rounds=1)
+    def __init__(self, injector=NULL_INJECTOR, retry=None):
+        super().__init__(rounds=1, injector=injector, retry=retry)
 
 
 class IterativePolicy(_AssignmentRoundsPolicy):
@@ -397,8 +453,8 @@ class IterativePolicy(_AssignmentRoundsPolicy):
 
     name = "iterative"
 
-    def __init__(self, rounds: int = 3):
-        super().__init__(rounds=rounds)
+    def __init__(self, rounds: int = 3, injector=NULL_INJECTOR, retry=None):
+        super().__init__(rounds=rounds, injector=injector, retry=retry)
 
 
 class ShardedPolicy(_AssignmentRoundsPolicy):
@@ -423,14 +479,18 @@ class ShardedPolicy(_AssignmentRoundsPolicy):
         boundary_cells: int | None = None,
         rounds: int = 1,
         max_workers: int | None = None,
+        injector=NULL_INJECTOR,
+        retry=None,
     ):
         from repro.dispatch.sharding import ShardExecutor, ShardPartitioner
 
-        super().__init__(rounds=rounds)
+        super().__init__(rounds=rounds, injector=injector, retry=retry)
         self.partitioner = ShardPartitioner(
             num_shards, boundary_cells=boundary_cells
         )
-        self.executor = ShardExecutor(backend, max_workers=max_workers)
+        self.executor = ShardExecutor(
+            backend, max_workers=max_workers, injector=injector, retry=retry
+        )
 
     def __repr__(self) -> str:
         return (
@@ -478,11 +538,16 @@ def make_policy(
     shard_backend: str = "serial",
     shard_boundary_cells: int | None = None,
     shard_max_workers: int | None = None,
+    injector=NULL_INJECTOR,
+    retry=None,
 ) -> DispatchPolicy:
     """Instantiate a policy by registry name.
 
     ``assignment_rounds`` only applies to ``iterative``; the ``shard_*``
-    keywords only to ``sharded``.
+    keywords only to ``sharded``. ``injector`` / ``retry`` thread the
+    fault-tolerance layer into the policy's quote service and (for
+    ``sharded``) shard executor; ``greedy`` runs unhardened by design —
+    it is the ladder's last rung and must stay fault-immune.
     """
     try:
         cls = POLICY_REGISTRY[name]
@@ -492,12 +557,18 @@ def make_policy(
             f"unknown dispatch policy {name!r}; known: {known}"
         ) from None
     if cls is IterativePolicy:
-        return IterativePolicy(rounds=assignment_rounds)
+        return IterativePolicy(
+            rounds=assignment_rounds, injector=injector, retry=retry
+        )
     if cls is ShardedPolicy:
         return ShardedPolicy(
             num_shards=num_shards,
             backend=shard_backend,
             boundary_cells=shard_boundary_cells,
             max_workers=shard_max_workers,
+            injector=injector,
+            retry=retry,
         )
-    return cls()
+    if cls is GreedyPolicy:
+        return GreedyPolicy()
+    return cls(injector=injector, retry=retry)

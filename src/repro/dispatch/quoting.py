@@ -36,12 +36,28 @@ bit-identical across ``workers=0`` (deferred synchronous), the eager
 Decision points are resolved on the simulator thread at quote issue
 (they mutate the vehicle's lazy cruise waypoints); workers only read
 the agent's committed schedule and the engine.
+
+Hardened quoting
+----------------
+
+Column quotes run under the fault-tolerance layer (:mod:`repro.faults`):
+every attempt may carry an injected fault directive, failures — injected
+or real — are retried on the simulator thread under the service's
+:class:`~repro.faults.RetryPolicy`, retry backoffs and injected delays
+are charged against the flush's :class:`~repro.faults.FlushBudget`, and
+a column that exhausts its budget is assembled *failed* (all-infeasible,
+no timing samples) with a structured
+:class:`~repro.faults.TaskFailure` on the :class:`QuoteSet` — never the
+old silent ``except Exception`` swallow. Its rows take the fault-carry
+rung of the degradation ladder downstream; a flush that exhausts its
+deadline budget stops quoting entirely and is flagged
+``deadline_exceeded`` so the simulator can downgrade it to greedy.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.matching import Dispatcher
 from repro.core.request import TripRequest
@@ -50,10 +66,19 @@ from repro.dispatch.costs import (
     ColumnQuotes,
     CostMatrix,
     assemble_matrix,
+    failed_column,
     plan_columns,
     quote_column,
 )
 from repro.dispatch.sharding.executor import WorkerPool
+from repro.exceptions import FlushDeadlineExceededError, QuoteFailedError
+from repro.faults import (
+    DEFAULT_RETRY,
+    FlushBudget,
+    NULL_INJECTOR,
+    TaskFailure,
+    run_with_fault,
+)
 from repro.obs.trace import NULL_TRACER, clock
 
 #: Backends :class:`QuoteService` accepts. ``process`` is deliberately
@@ -76,6 +101,13 @@ class QuoteSet:
     raised). ``began_perf`` / ``finished_perf`` are ``perf_counter``
     stamps of quote start and end, from which the simulator derives how
     much quote wall time overlapped event execution.
+
+    The fault-tolerance fields: ``failed_columns`` are the matrix
+    columns that could not be quoted at all (retry budget spent — their
+    ``task_failures`` entries say why), ``failed_rows`` the union of
+    their rows (the fault-carry candidates), and ``deadline_exceeded``
+    flags a flush that blew its deadline budget mid-stage (the
+    greedy-downgrade trigger). All empty/False on the fault-free path.
     """
 
     matrix: CostMatrix
@@ -95,6 +127,10 @@ class QuoteSet:
     #: wall time can have overlapped event execution, whatever the
     #: perf stamps suggest.
     inline: bool = True
+    failed_columns: tuple[int, ...] = ()
+    failed_rows: frozenset[int] = frozenset()
+    task_failures: list[TaskFailure] = field(default_factory=list)
+    deadline_exceeded: bool = False
 
 
 class PendingQuotes:
@@ -104,7 +140,8 @@ class PendingQuotes:
     been quoted yet — :meth:`collect` runs the whole stage inline, which
     is exactly the old synchronous order. Otherwise ``columns`` holds
     one future per matrix column plus the schedule epoch its vehicle had
-    at quote issue.
+    at quote issue. ``budget`` is the flush's deadline budget (``None``
+    when the flush has no deadline).
     """
 
     __slots__ = (
@@ -114,6 +151,7 @@ class PendingQuotes:
         "now",
         "columns",
         "epochs",
+        "budget",
         "began_perf",
         "issued_perf",
     )
@@ -126,6 +164,7 @@ class PendingQuotes:
         now: float,
         columns: list[Future] | None,
         epochs: list[int] | None,
+        budget: FlushBudget | None = None,
         began_perf: float | None = None,
     ):
         self.service = service
@@ -134,6 +173,7 @@ class PendingQuotes:
         self.now = now
         self.columns = columns
         self.epochs = epochs
+        self.budget = budget
         self.began_perf = clock() if began_perf is None else began_perf
         #: Stamped when the issue prologue finished (begin's last line).
         self.issued_perf = self.began_perf
@@ -141,6 +181,63 @@ class PendingQuotes:
     def _column_requests(self, col: int) -> list[TripRequest]:
         plan = self.plan
         return [plan.requests[i] for i in plan.rows_by_col[col]]
+
+    def _quote_hardened(self, col: int, span_name: str) -> ColumnQuotes:
+        """Quote one column on the calling (simulator) thread under the
+        retry policy: bounded attempts, backoff charged virtually against
+        the flush budget (the simulator thread never sleeps), budget
+        checked between attempts. Raises
+        :class:`~repro.exceptions.FlushDeadlineExceededError` when the
+        budget trips and :class:`~repro.exceptions.QuoteFailedError`
+        when every attempt failed."""
+        plan = self.plan
+        agent = plan.agents[col]
+        col_requests = self._column_requests(col)
+        objective = self.dispatcher.objective
+        tracer = self.service.tracer
+        injector = self.service.injector
+        retry = self.service.retry
+        budget = self.budget
+        last_error: BaseException | None = None
+        for attempt in range(1, retry.max_attempts + 1):
+            if attempt > 1:
+                injector.record_retry("quote.task")
+                if budget is not None:
+                    budget.charge(retry.backoff_for(attempt))
+            if budget is not None:
+                budget.check()
+            fault = injector.draw("quote.task", budget=budget)
+            c0 = clock() if tracer.enabled else 0.0
+            try:
+                with injector.engine_window(budget=budget, sleeping=False):
+                    quoted = run_with_fault(
+                        fault,
+                        False,
+                        retry.timeout_s,
+                        quote_column,
+                        agent,
+                        col_requests,
+                        self.now,
+                        objective,
+                    )
+            except (KeyboardInterrupt, SystemExit, FlushDeadlineExceededError):
+                raise
+            except Exception as error:
+                last_error = error
+                continue
+            if tracer.enabled:
+                tracer.emit(
+                    span_name,
+                    "quote",
+                    c0,
+                    clock(),
+                    vehicle=agent.vehicle.vehicle_id,
+                    rows=len(plan.rows_by_col[col]),
+                )
+            return quoted
+        raise QuoteFailedError(
+            agent.vehicle.vehicle_id, retry.max_attempts, last_error
+        )
 
     def collect(self) -> QuoteSet:
         """Join the quote stage; re-quote stale columns; assemble.
@@ -151,100 +248,180 @@ class PendingQuotes:
         idle) or the racing worker quote raised; stale columns are
         re-quoted here, on the calling thread, in vehicle-id order —
         the deterministic fallback that makes the assembled matrix
-        independent of worker timing.
+        independent of worker timing. Unquotable columns degrade per
+        the ladder (see the module docstring) instead of raising.
         """
         plan = self.plan
-        objective = self.dispatcher.objective
-        tracer = self.service.tracer
+        budget = self.budget
+        retry = self.service.retry
+        n = len(plan.agents)
+
+        task_failures: list[TaskFailure] = []
+        failed_cols: list[int] = []
+        deadline_exceeded = False
+
+        def settle(col: int, span_name: str, columns: list) -> None:
+            """Quote ``columns[col]`` under the retry policy, degrading
+            an unquotable column to the failed placeholder."""
+            nonlocal deadline_exceeded
+            num_rows = len(plan.rows_by_col[col])
+            if deadline_exceeded:
+                failed_cols.append(col)
+                columns[col] = failed_column(num_rows)
+                return
+            try:
+                columns[col] = self._quote_hardened(col, span_name)
+            except FlushDeadlineExceededError as error:
+                deadline_exceeded = True
+                task_failures.append(
+                    TaskFailure(
+                        site="quote.task",
+                        task_id=plan.agents[col].vehicle.vehicle_id,
+                        attempts=0,
+                        error=error,
+                    )
+                )
+                failed_cols.append(col)
+                columns[col] = failed_column(num_rows)
+            except QuoteFailedError as error:
+                task_failures.append(
+                    TaskFailure(
+                        site="quote.task",
+                        task_id=error.vehicle_id,
+                        attempts=error.attempts,
+                        error=error,
+                    )
+                )
+                failed_cols.append(col)
+                columns[col] = failed_column(num_rows)
+
+        def finish(
+            columns: list,
+            *,
+            quote_seconds: float,
+            began_perf: float,
+            finished_perf: float,
+            issued_perf: float,
+            requotes: int = 0,
+            failures: int = 0,
+            inline: bool = True,
+        ) -> QuoteSet:
+            tripped = deadline_exceeded or (
+                budget is not None and budget.exceeded
+            )
+            return QuoteSet(
+                matrix=assemble_matrix(plan, columns),
+                quoted_at=self.now,
+                quote_seconds=quote_seconds,
+                requotes=requotes,
+                failures=failures,
+                began_perf=began_perf,
+                finished_perf=finished_perf,
+                issued_perf=issued_perf,
+                inline=inline,
+                failed_columns=tuple(failed_cols),
+                failed_rows=frozenset(
+                    row for col in failed_cols for row in plan.rows_by_col[col]
+                ),
+                task_failures=task_failures,
+                deadline_exceeded=tripped,
+            )
+
         if self.columns is None:
             # Deferred synchronous stage: the degenerate pipeline. Its
             # wall time starts here — nothing ran between begin and
             # collect, so none of it can overlap event execution.
             t0 = clock()
-            columns = []
-            for col, agent in enumerate(plan.agents):
-                c0 = clock() if tracer.enabled else 0.0
-                quoted = quote_column(
-                    agent, self._column_requests(col), self.now, objective
-                )
-                columns.append(quoted)
-                if tracer.enabled:
-                    tracer.emit(
-                        "quote.column",
-                        "quote",
-                        c0,
-                        clock(),
-                        vehicle=agent.vehicle.vehicle_id,
-                        rows=len(plan.rows_by_col[col]),
-                    )
+            columns: list = [None] * n
+            for col in range(n):
+                settle(col, "quote.column", columns)
             finished = clock()
-            return QuoteSet(
-                matrix=assemble_matrix(plan, columns),
-                quoted_at=self.now,
+            return finish(
+                columns,
                 quote_seconds=finished - t0,
                 began_perf=t0,
                 finished_perf=finished,
                 issued_perf=t0,
             )
 
-        columns: list[ColumnQuotes | None] = []
+        columns = [None] * n
         finished = self.began_perf
         failures = 0
         stale: list[int] = []
+        awaits_with_timeout = (
+            self.service.backend == "thread" and retry.timeout_s is not None
+        )
         for col, future in enumerate(self.columns):
             agent = plan.agents[col]
             try:
-                quoted, done_at = future.result()
+                if awaits_with_timeout:
+                    quoted, done_at = future.result(timeout=retry.timeout_s)
+                else:
+                    quoted, done_at = future.result()
+            except (KeyboardInterrupt, SystemExit):
+                raise
             except Exception:
-                # A mutation raced the worker mid-quote (or the quote
-                # failed outright): repair below, same as stale.
-                columns.append(None)
+                # A mutation raced the worker mid-quote, the quote timed
+                # out, or an injected fault fired: repair below, same as
+                # stale — the hardened inline path retries it.
                 failures += 1
                 stale.append(col)
                 continue
-            finished = max(finished, done_at)
             if agent.schedule_epoch != self.epochs[col]:
-                columns.append(None)
                 stale.append(col)
             else:
-                columns.append(quoted)
+                finished = max(finished, done_at)
+                columns[col] = quoted
         for col in stale:
-            c0 = clock() if tracer.enabled else 0.0
-            columns[col] = quote_column(
-                plan.agents[col], self._column_requests(col), self.now, objective
-            )
-            if tracer.enabled:
-                tracer.emit(
-                    "quote.requote",
-                    "quote",
-                    c0,
-                    clock(),
-                    vehicle=plan.agents[col].vehicle.vehicle_id,
-                    rows=len(plan.rows_by_col[col]),
-                )
+            settle(col, "quote.requote", columns)
         if stale:
             finished = max(finished, clock())
-        return QuoteSet(
-            matrix=assemble_matrix(plan, columns),
-            quoted_at=self.now,
+        return finish(
+            columns,
             quote_seconds=finished - self.began_perf,
-            requotes=len(stale),
-            failures=failures,
             began_perf=self.began_perf,
             finished_perf=finished,
             issued_perf=self.issued_perf,
+            requotes=len(stale),
+            failures=failures,
             inline=self.service.backend != "thread",
         )
 
 
-def _quote_task(agent, requests, now, objective, decision, tracer, parent):
+def _quote_task(
+    agent,
+    requests,
+    now,
+    objective,
+    decision,
+    tracer,
+    parent,
+    fault=None,
+    injector=NULL_INJECTOR,
+    sleeping=False,
+    timeout_s=None,
+    budget=None,
+):
     """One worker-side column quote; stamps its completion time.
 
     ``parent`` is the span-id handle captured on the simulator thread at
     quote issue — the deterministic anchor worker spans attach to,
-    whatever pool thread runs the task."""
+    whatever pool thread runs the task. ``fault`` is the directive drawn
+    parent-side at issue; engine faults open against this task's window.
+    """
     t0 = clock()
-    quoted = quote_column(agent, requests, now, objective, decision=decision)
+    with injector.engine_window(budget=budget, sleeping=sleeping):
+        quoted = run_with_fault(
+            fault,
+            sleeping,
+            timeout_s,
+            quote_column,
+            agent,
+            requests,
+            now,
+            objective,
+            decision=decision,
+        )
     done = clock()
     tracer.emit(
         "quote.column",
@@ -267,10 +444,20 @@ class QuoteService:
     column quotes are issued eagerly at *begin* — inline for the
     ``serial`` backend, on a shared thread pool for ``thread`` — and
     *collect* repairs whatever went stale in between.
+
+    ``injector`` / ``retry`` wire in the fault-tolerance layer
+    (:mod:`repro.faults`); the defaults — a disabled injector and
+    :data:`~repro.faults.DEFAULT_RETRY` — keep the fault-free path
+    bit-identical to the unhardened service.
     """
 
     def __init__(
-        self, workers: int = 0, backend: str = "thread", tracer=NULL_TRACER
+        self,
+        workers: int = 0,
+        backend: str = "thread",
+        tracer=NULL_TRACER,
+        injector=NULL_INJECTOR,
+        retry=None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -280,6 +467,8 @@ class QuoteService:
         self.workers = workers
         self.backend = backend
         self.tracer = tracer
+        self.injector = injector
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._pool: WorkerPool | None = None
 
     def __repr__(self) -> str:
@@ -287,28 +476,39 @@ class QuoteService:
 
     def _get_pool(self) -> WorkerPool:
         if self._pool is None:
-            self._pool = WorkerPool(self.backend, max_workers=self.workers)
+            self._pool = WorkerPool(
+                self.backend, max_workers=self.workers, injector=self.injector
+            )
         return self._pool
 
     # ------------------------------------------------------------------
     def begin(
-        self, dispatcher: Dispatcher, requests: list[TripRequest], now: float
+        self,
+        dispatcher: Dispatcher,
+        requests: list[TripRequest],
+        now: float,
+        budget: FlushBudget | None = None,
     ) -> PendingQuotes:
         """Start the quote stage for one batch, valid for commit at
         ``now``. Candidate filtering and (in eager mode) decision-point
-        resolution happen here, on the calling thread."""
+        resolution happen here, on the calling thread. ``budget`` is the
+        flush's deadline budget, threaded through to collect-time
+        retries and injected delays."""
         began = clock()
         plan = plan_columns(dispatcher, requests)
         if self.workers == 0:
             # Deferred mode: nothing is quoted yet — the stage's wall
             # time starts when collect() runs it.
-            return PendingQuotes(self, dispatcher, plan, now, None, None)
+            return PendingQuotes(
+                self, dispatcher, plan, now, None, None, budget=budget
+            )
         pool = self._get_pool()
         graph = dispatcher.engine.graph
         # Captured on this (the issuing) thread: worker column spans
         # anchor to the currently open span — quote.issue — whatever
         # pool thread later runs them.
         parent = self.tracer.current_id()
+        sleeping = self.backend == "thread"
         epochs: list[int] = []
         columns: list[Future] = []
         for col, agent in enumerate(plan.agents):
@@ -317,6 +517,7 @@ class QuoteService:
             # must not advance the vehicle's waypoint cursor past the
             # position queries of the overlap window's own events.
             decision = agent.vehicle.peek_decision_point(now, graph)
+            fault = self.injector.draw("quote.task", budget=budget)
             columns.append(
                 pool.submit(
                     _quote_task,
@@ -327,10 +528,22 @@ class QuoteService:
                     decision,
                     self.tracer,
                     parent,
+                    fault,
+                    self.injector,
+                    sleeping,
+                    self.retry.timeout_s,
+                    budget,
                 )
             )
         pending = PendingQuotes(
-            self, dispatcher, plan, now, columns, epochs, began_perf=began
+            self,
+            dispatcher,
+            plan,
+            now,
+            columns,
+            epochs,
+            budget=budget,
+            began_perf=began,
         )
         pending.issued_perf = clock()
         return pending

@@ -17,15 +17,39 @@ Three backends solve the per-shard assignment problems:
 Whatever the backend or worker count, results are re-ordered by shard
 id before anything downstream sees them, so completion order can never
 leak into assignments.
+
+Hardened execution (:mod:`repro.faults`): every shard attempt may carry
+an :class:`~repro.faults.InjectedFault` directive drawn parent-side at
+submit time; failures — injected or real — are retried under a
+:class:`~repro.faults.RetryPolicy` (per-attempt timeout, capped
+backoff), a broken pool (real ``BrokenProcessPool`` or an injected
+:class:`~repro.faults.SimulatedPoolDeathError`) is transparently
+recreated, and a task that exhausts its budget comes back as a
+structured :class:`~repro.faults.TaskFailure` instead of killing the
+flush — the sharded solver re-solves it serially in the parent.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 import numpy as np
 
 from repro.dispatch.solver import solve_assignment
+from repro.exceptions import ShardSolveError
+from repro.faults import (
+    DEFAULT_RETRY,
+    NULL_INJECTOR,
+    SimulatedPoolDeathError,
+    TaskFailure,
+    run_with_fault,
+)
 from repro.obs.trace import NULL_TRACER, clock
 
 #: Legal ``shard_backend`` values (also what ``SimulationConfig`` takes).
@@ -46,11 +70,22 @@ class WorkerPool:
 
     The ``serial`` backend runs submissions inline and returns
     already-resolved futures, so callers need no backend-specific code.
+
+    :meth:`close` is idempotent and safe after pool breakage (the pool
+    reference is detached before shutdown, so a second close — or the
+    ``__del__`` interpreter-shutdown path — finds nothing to do), and
+    :meth:`recreate` drops a broken pool so the next submission lazily
+    builds a fresh one.
     """
 
     BACKENDS = SHARD_BACKENDS
 
-    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        injector=NULL_INJECTOR,
+    ):
         if backend not in self.BACKENDS:
             known = ", ".join(self.BACKENDS)
             raise ValueError(f"worker pool backend must be one of: {known}")
@@ -58,6 +93,7 @@ class WorkerPool:
             raise ValueError("max_workers must be >= 1 or None")
         self.backend = backend
         self.max_workers = max_workers
+        self.injector = injector
         self._pool = None
 
     def __repr__(self) -> str:
@@ -78,21 +114,61 @@ class WorkerPool:
 
     def submit(self, fn, /, *args, **kwargs) -> Future:
         """Schedule ``fn(*args, **kwargs)``; on the serial backend it
-        runs inline before this call returns."""
-        if self.backend == "serial":
+        runs inline before this call returns. ``pool.submit`` faults
+        (:mod:`repro.faults`) are drawn here: a ``crash`` loses the
+        submission (failed future), a ``pool_death`` additionally kills
+        the underlying pool — both surface as exceptions the hardened
+        callers retry."""
+        fault = self.injector.draw("pool.submit")
+        if fault is not None:
             future: Future = Future()
+            if fault.kind == "pool_death":
+                self.recreate()
+                future.set_exception(
+                    SimulatedPoolDeathError(fault.site, fault.seq)
+                )
+            else:
+                try:
+                    run_with_fault(fault, False, None, lambda: None)
+                except BaseException as error:  # noqa: BLE001 - mirrored
+                    future.set_exception(error)
+            return future
+        if self.backend == "serial":
+            future = Future()
             try:
                 future.set_result(fn(*args, **kwargs))
             except BaseException as error:  # noqa: BLE001 - mirrored to caller
                 future.set_exception(error)
             return future
-        return self._get_pool().submit(fn, *args, **kwargs)
+        try:
+            return self._get_pool().submit(fn, *args, **kwargs)
+        except BrokenExecutor as error:
+            # The pool died before this submission (a worker was killed
+            # out-of-band). Surface it as a failed future so hardened
+            # callers take their normal recreate-and-retry path instead
+            # of dying at submit time.
+            future = Future()
+            future.set_exception(error)
+            return future
+
+    def recreate(self) -> None:
+        """Drop the current pool (broken or injected-dead) so the next
+        submission lazily builds a fresh one; counted as
+        ``pool.recreated`` in the metrics registry."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # A broken executor's shutdown() is safe and returns quickly;
+            # wait=False because its workers may already be gone.
+            pool.shutdown(wait=False)
+        self.injector.record_pool_recreated()
 
     def close(self) -> None:
-        """Shut the pool down (no-op for the serial backend)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut the pool down (no-op for the serial backend, idempotent
+        everywhere — safe to call twice, after breakage, and from
+        ``__del__`` at interpreter shutdown)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -104,6 +180,8 @@ class WorkerPool:
         try:
             self.close()
         except Exception:
+            # Interpreter teardown can have already reclaimed executor
+            # internals; there is nothing useful to do about it here.
             pass
 
 
@@ -120,11 +198,22 @@ def solve_one_shard(
     return shard_id, pairs, clock() - started
 
 
-def _traced_solve_one_shard(shard_id, keys, tracer, parent):
+def _solve_shard_task(fault, sleeping, timeout_s, shard_id, keys):
+    """One worker-side shard solve, with its fault directive enacted
+    in-worker. Module-level and primitives-only so the process backend
+    can pickle it (``fault`` is a plain dataclass)."""
+    return run_with_fault(
+        fault, sleeping, timeout_s, solve_one_shard, shard_id, keys
+    )
+
+
+def _traced_solve_shard_task(
+    fault, sleeping, timeout_s, shard_id, keys, tracer, parent
+):
     """In-worker traced shard solve (serial/thread backends — a tracer
     cannot cross the process boundary; see :meth:`ShardExecutor.run`)."""
     t0 = clock()
-    result = solve_one_shard(shard_id, keys)
+    result = _solve_shard_task(fault, sleeping, timeout_s, shard_id, keys)
     tracer.emit(
         "shard.solve",
         "solve",
@@ -142,14 +231,25 @@ class ShardExecutor:
     """Runs per-shard solves on a configurable :class:`WorkerPool`.
 
     Call :meth:`close` to release the pool early; otherwise it is torn
-    down with the executor object.
+    down with the executor object. ``injector`` / ``retry`` wire in the
+    fault-tolerance layer (:mod:`repro.faults`); the defaults — a
+    disabled injector and :data:`~repro.faults.DEFAULT_RETRY` — keep the
+    fault-free path bit-identical to the unhardened executor.
     """
 
-    def __init__(self, backend: str = "serial", max_workers: int | None = None):
+    def __init__(
+        self,
+        backend: str = "serial",
+        max_workers: int | None = None,
+        injector=NULL_INJECTOR,
+        retry=None,
+    ):
         if backend not in SHARD_BACKENDS:
             known = ", ".join(SHARD_BACKENDS)
             raise ValueError(f"shard backend must be one of: {known}")
-        self.pool = WorkerPool(backend, max_workers=max_workers)
+        self.injector = injector
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.pool = WorkerPool(backend, max_workers=max_workers, injector=injector)
 
     @property
     def backend(self) -> str:
@@ -168,9 +268,16 @@ class ShardExecutor:
     # ------------------------------------------------------------------
     def run(
         self, tasks: list[tuple[int, np.ndarray]], tracer=NULL_TRACER
-    ) -> list[tuple[int, list[tuple[int, int]], float]]:
+    ) -> list:
         """Solve every ``(shard_id, keys)`` task; results sorted by
         shard id regardless of completion order.
+
+        Each entry is the shard's ``(shard_id, pairs, secs)`` tuple, or
+        a :class:`~repro.faults.TaskFailure` when the task still failed
+        after the retry budget (bounded attempts, per-attempt timeout,
+        capped backoff; a broken pool is recreated between attempts).
+        Callers — :func:`~repro.dispatch.sharding.solver.solve_sharded`
+        — re-solve failed shards serially in the parent.
 
         With an enabled ``tracer``, each shard gets a ``shard.solve``
         span parented to the caller's open span (the policy's ``solve``
@@ -180,24 +287,65 @@ class ShardExecutor:
         (flagged ``synthetic`` — their end stamps share the join
         instant, so only durations, not offsets, are meaningful).
         """
-        if tracer.enabled and self.backend != "process":
-            parent = tracer.current_id()
-            futures = [
-                self.pool.submit(
-                    _traced_solve_one_shard, sid, keys, tracer, parent
+        retry = self.retry
+        injector = self.injector
+        traced_inline = tracer.enabled and self.backend != "process"
+        parent = tracer.current_id() if traced_inline else None
+        sleeping = self.backend != "serial"
+        timeout_s = retry.timeout_s
+
+        def submit(sid: int, keys: np.ndarray) -> Future:
+            fault = injector.draw("shard.solve")
+            if traced_inline:
+                return self.pool.submit(
+                    _traced_solve_shard_task,
+                    fault, sleeping, timeout_s, sid, keys, tracer, parent,
                 )
-                for sid, keys in tasks
-            ]
-        else:
-            futures = [
-                self.pool.submit(solve_one_shard, sid, keys)
-                for sid, keys in tasks
-            ]
-        results = [f.result() for f in futures]
-        results.sort(key=lambda r: r[0])
+            return self.pool.submit(
+                _solve_shard_task, fault, sleeping, timeout_s, sid, keys
+            )
+
+        futures = [submit(sid, keys) for sid, keys in tasks]
+        results: list = []
+        for (sid, keys), future in zip(tasks, futures):
+            attempt = 1
+            while True:
+                try:
+                    if sleeping and timeout_s is not None:
+                        results.append(future.result(timeout=timeout_s))
+                    else:
+                        results.append(future.result())
+                    break
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as error:
+                    if isinstance(error, BrokenExecutor):
+                        self.pool.recreate()
+                    if attempt >= retry.max_attempts:
+                        results.append(
+                            TaskFailure(
+                                site="shard.solve",
+                                task_id=sid,
+                                attempts=attempt,
+                                error=ShardSolveError(sid, attempt, error),
+                            )
+                        )
+                        break
+                    injector.record_retry("shard.solve")
+                    attempt += 1
+                    backoff = retry.backoff_for(attempt)
+                    if sleeping and backoff > 0:
+                        time.sleep(backoff)
+                    future = submit(sid, keys)
+        results.sort(
+            key=lambda r: r.task_id if isinstance(r, TaskFailure) else r[0]
+        )
         if tracer.enabled and self.backend == "process":
             joined = clock()
-            for sid, _pairs, secs in results:
+            for entry in results:
+                if isinstance(entry, TaskFailure):
+                    continue
+                sid, _pairs, secs = entry
                 tracer.emit(
                     "shard.solve",
                     "solve",

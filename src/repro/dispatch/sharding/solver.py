@@ -23,9 +23,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dispatch.sharding.executor import ShardExecutor
+from repro.dispatch.sharding.executor import ShardExecutor, solve_one_shard
 from repro.dispatch.sharding.partitioner import ShardPlan
 from repro.dispatch.sharding.reconciler import BoundaryReconciler
+from repro.faults import TaskFailure
 from repro.obs.trace import NULL_TRACER
 
 
@@ -45,6 +46,9 @@ class ShardedSolveOutcome:
     #: when the plan sharded as requested) — surfaced into the batch
     #: metrics so a silently-global "sharded" run is visible.
     fallback_reason: str | None = None
+    #: Shards whose fan-out task exhausted its retry budget and were
+    #: re-solved serially in the parent (degradation-ladder rung 2).
+    serial_rescues: int = 0
 
 
 def solve_sharded(
@@ -61,6 +65,13 @@ def solve_sharded(
     of boundary conflicts the reconciler had to resolve. ``tracer``
     (a :class:`repro.obs.Tracer`) adds per-shard ``shard.solve`` spans;
     the default is a no-op.
+
+    A shard whose fan-out task still fails after the executor's retry
+    budget comes back as a :class:`~repro.faults.TaskFailure`; it is
+    re-solved serially right here in the parent (a shard solve is a pure
+    numpy computation — the parent can always do it itself), counted in
+    ``serial_rescues``. The final pairs are therefore identical to a
+    fault-free run's, whatever the fan-out failures.
     """
     tasks = [
         (
@@ -72,6 +83,13 @@ def solve_sharded(
         for shard in plan.shards
     ]
     results = executor.run(tasks, tracer=tracer)
+
+    keys_by_id = dict(tasks)
+    rescues = 0
+    for i, entry in enumerate(results):
+        if isinstance(entry, TaskFailure):
+            results[i] = solve_one_shard(entry.task_id, keys_by_id[entry.task_id])
+            rescues += 1
 
     shards_by_id = {shard.shard_id: shard for shard in plan.shards}
     proposals: list[list[tuple[int, int]]] = []
@@ -102,4 +120,5 @@ def solve_sharded(
         boundary_conflicts=conflicts,
         num_shards=len(plan.shards),
         fallback_reason=plan.fallback_reason,
+        serial_rescues=rescues,
     )

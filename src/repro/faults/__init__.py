@@ -1,0 +1,49 @@
+"""Deterministic fault injection and the hardened-execution toolkit.
+
+``repro.faults`` is the robustness layer's home: the fault-spec grammar
+(:mod:`~repro.faults.plan`), the seeded :class:`FaultInjector` that
+turns a plan into concrete :class:`InjectedFault` directives at named
+pipeline sites, and the retry/timeout/budget primitives the hardened
+executors (:class:`~repro.dispatch.sharding.executor.ShardExecutor`,
+:class:`~repro.dispatch.quoting.QuoteService`) are built on. See
+``docs/robustness.md`` for the grammar and the degradation ladder, and
+determinism contract 10 in ``docs/determinism.md`` for the guarantees.
+"""
+
+from repro.faults.injector import (
+    DEFAULT_RETRY,
+    FaultInjector,
+    FlushBudget,
+    InjectedFault,
+    NULL_INJECTOR,
+    RetryPolicy,
+    SimulatedPoolDeathError,
+    TaskFailure,
+    VirtualTimeoutError,
+    run_with_fault,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultClause,
+    FaultPlan,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "DEFAULT_RETRY",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultClause",
+    "FaultInjector",
+    "FaultPlan",
+    "FlushBudget",
+    "InjectedFault",
+    "NULL_INJECTOR",
+    "RetryPolicy",
+    "SimulatedPoolDeathError",
+    "TaskFailure",
+    "VirtualTimeoutError",
+    "parse_fault_spec",
+    "run_with_fault",
+]

@@ -115,6 +115,29 @@ class SimulationConfig:
         Telemetry is write-only: no dispatch decision reads it, so
         every determinism pin holds bit-for-bit with ``trace=True``
         (``docs/determinism.md``).
+    fault_spec / fault_seed:
+        Deterministic fault injection (:mod:`repro.faults`).
+        ``fault_spec`` is a comma-joined list of
+        ``site:kind:trigger[:delay_s]`` clauses (see
+        ``docs/robustness.md`` for the grammar); ``None`` (default)
+        disarms the injector entirely — determinism contract 10
+        guarantees the hardened pipeline is then bit-identical to the
+        unhardened one. ``fault_seed`` seeds the per-clause RNG streams;
+        a fixed ``(fault_spec, fault_seed)`` pair replays bit-identically
+        on the serial backend.
+    flush_deadline_s:
+        Per-flush deadline budget in *charged* seconds (injected delays
+        and retry backoffs — virtual time, so serial runs stay
+        deterministic). A flush that exhausts it is downgraded to the
+        greedy policy for that flush only (the degradation ladder's
+        last rung). ``None`` (default) = no deadline.
+    task_retries / task_timeout_s / retry_backoff_s / retry_backoff_cap_s:
+        Retry policy for hardened worker tasks (quote columns, shard
+        solves): up to ``task_retries`` retries after the first attempt,
+        each awaited at most ``task_timeout_s`` seconds (``None`` = no
+        timeout), with exponential backoff from ``retry_backoff_s``
+        capped at ``retry_backoff_cap_s`` (slept only on genuinely
+        concurrent backends; charged to the flush budget otherwise).
     seed:
         Master seed for fleet placement and cruising.
     """
@@ -160,6 +183,13 @@ class SimulationConfig:
     trace: bool = False
     trace_out: str | None = None
     metrics_out: str | None = None
+    fault_spec: str | None = None
+    fault_seed: int = 0
+    flush_deadline_s: float | None = None
+    task_retries: int = 2
+    task_timeout_s: float | None = None
+    retry_backoff_s: float = 0.05
+    retry_backoff_cap_s: float = 1.0
     seed: int = 0
 
     def __post_init__(self):
@@ -316,4 +346,21 @@ class SimulationConfig:
             raise ValueError(
                 "trace_out requires trace=True: there are no spans to "
                 "export from an untraced run"
+            )
+        from repro.faults import parse_fault_spec
+
+        # Parse errors (unknown site/kind, malformed trigger) surface
+        # here, at config time, not mid-simulation.
+        parse_fault_spec(self.fault_spec)
+        if self.flush_deadline_s is not None and self.flush_deadline_s <= 0:
+            raise ValueError("flush_deadline_s must be positive or None")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be positive or None")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.retry_backoff_cap_s < self.retry_backoff_s:
+            raise ValueError(
+                "retry_backoff_cap_s must be >= retry_backoff_s"
             )

@@ -181,6 +181,19 @@ class SimulationReport:
     #: mutation raced it (always repaired by a re-quote; a correctness
     #: counter, not an error count).
     quote_failures: int = 0
+    #: Fault tolerance (repro.faults): the degradation ladder's rungs.
+    #: Quote columns that exhausted their retry budget and were
+    #: assembled failed (their rows became fault-carry candidates).
+    quote_columns_failed: int = 0
+    #: Shards re-solved serially in the parent after their fan-out task
+    #: exhausted its retry budget.
+    shard_serial_rescues: int = 0
+    #: Flushes downgraded to the greedy policy after blowing their
+    #: deadline budget (the ladder's last rung).
+    flushes_degraded: int = 0
+    #: Requests carried to the next flush because their quote column(s)
+    #: failed (the fault-carry rescue, not ordinary carry-over).
+    fault_rescued_carries: int = 0
     wall_seconds: float = 0.0
     #: The run's metrics registry (repro.obs): every record_* method
     #: below mirrors its samples into named streaming histograms here,
@@ -253,6 +266,10 @@ class SimulationReport:
         if batch.shard_sizes:
             self.boundary_conflicts.add(batch.boundary_conflicts)
         self.shard_fallbacks += batch.shard_fallbacks
+        rescues = getattr(batch, "shard_serial_rescues", 0)
+        if rescues:
+            self.shard_serial_rescues += rescues
+            self.registry.counter("shard.serial_rescue").inc(rescues)
 
     def record_window(self, now: float, window_s: float, overlap_s: float) -> None:
         """Record one flush's scheduled window/overlap lengths (the
@@ -278,6 +295,18 @@ class SimulationReport:
         self.assign_latency_s.add(seconds)
         self.registry.histogram("assign.latency_s").add(seconds)
 
+    def record_flush_degraded(self) -> None:
+        """Record one flush downgrading to the greedy policy (the
+        degradation ladder's last rung: its deadline budget tripped)."""
+        self.flushes_degraded += 1
+        self.registry.counter("flush.degraded").inc()
+
+    def record_fault_rescue(self) -> None:
+        """Record one request carried to the next flush because its
+        quote column(s) failed — the ladder's fault-carry rescue."""
+        self.fault_rescued_carries += 1
+        self.registry.counter("carry.fault_rescued").inc()
+
     def record_flush_wall(self, seconds: float) -> None:
         """Record one flush's total wall time (quote + solve + commit +
         bookkeeping as seen by the simulator)."""
@@ -291,6 +320,10 @@ class SimulationReport:
         self.registry.histogram("flush.quote_s").add(quote_set.quote_seconds)
         self.staleness_requotes.add(quote_set.requotes)
         self.quote_failures += quote_set.failures
+        failed = len(getattr(quote_set, "failed_columns", ()))
+        if failed:
+            self.quote_columns_failed += failed
+            self.registry.counter("quote.column_failed").inc(failed)
         if quote_set.quote_seconds > 0:
             self.overlap_ratio.add(
                 min(1.0, max(0.0, overlap_seconds / quote_set.quote_seconds))
@@ -368,6 +401,13 @@ class SimulationReport:
             "staleness_requotes": int(self.staleness_requotes.total),
             "quote_failures": self.quote_failures,
             "overlap_ratio_mean": round(self.overlap_ratio.mean, 4),
+            "faults_injected": self.registry.counter("fault.injected").value,
+            "retries": self.registry.counter("retry.count").value,
+            "pool_recreations": self.registry.counter("pool.recreated").value,
+            "quote_columns_failed": self.quote_columns_failed,
+            "shard_serial_rescues": self.shard_serial_rescues,
+            "flushes_degraded": self.flushes_degraded,
+            "fault_rescued_carries": self.fault_rescued_carries,
             "wall_seconds": round(self.wall_seconds, 3),
         }
 
@@ -471,4 +511,33 @@ class SimulationReport:
                     f"{'quote_failures':24s} {self.quote_failures} "
                     "(worker quotes raced a schedule mutation; re-quoted)"
                 )
+        faults = self.registry.counter("fault.injected").value
+        retries = self.registry.counter("retry.count").value
+        recreations = self.registry.counter("pool.recreated").value
+        ladder = (
+            self.quote_columns_failed
+            + self.shard_serial_rescues
+            + self.flushes_degraded
+            + self.fault_rescued_carries
+        )
+        if faults or retries or recreations or ladder:
+            lines.append("--- fault tolerance ---")
+            lines.append(f"{'faults_injected':24s} {faults}")
+            lines.append(f"{'retries':24s} {retries}")
+            if recreations:
+                lines.append(f"{'pool_recreations':24s} {recreations}")
+            lines.append(
+                f"{'quote_columns_failed':24s} {self.quote_columns_failed} "
+                f"(rows rescued via fault-carry: "
+                f"{self.fault_rescued_carries})"
+            )
+            if self.shard_serial_rescues:
+                lines.append(
+                    f"{'shard_serial_rescues':24s} {self.shard_serial_rescues} "
+                    "(shards re-solved serially in the parent)"
+                )
+            lines.append(
+                f"{'flushes_degraded':24s} {self.flushes_degraded} "
+                "(deadline tripped; dispatched greedily)"
+            )
         return "\n".join(lines)

@@ -41,6 +41,14 @@ import numpy as np
 from repro.core.matching import Dispatcher
 from repro.dispatch import BatchDispatcher, BatchWindow, QuoteService, make_policy
 from repro.dispatch.adaptive import make_window_controller
+from repro.dispatch.policies import GreedyPolicy
+from repro.faults import (
+    FaultInjector,
+    FlushBudget,
+    RetryPolicy,
+    parse_fault_spec,
+    run_with_fault,
+)
 from repro.obs import Tracer, clock, write_chrome_trace, write_metrics_json
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
@@ -87,6 +95,31 @@ class Simulation:
         self.tracer = Tracer(enabled=config.trace)
         self._flush_seq = 0
 
+        # The report (and its metrics registry) exists before the
+        # dispatch stack so the fault injector can count into it.
+        self.report = SimulationReport()
+        self.report.tracer = self.tracer
+
+        #: Deterministic fault injection (repro.faults). An empty plan
+        #: (the default) makes the injector — and every hardened code
+        #: path it gates — a literal no-op: determinism contract 10.
+        self.fault_injector = FaultInjector(
+            parse_fault_spec(config.fault_spec),
+            seed=config.fault_seed,
+            registry=self.report.registry,
+            tracer=self.tracer,
+        )
+        self.retry_policy = RetryPolicy(
+            max_attempts=config.task_retries + 1,
+            timeout_s=config.task_timeout_s,
+            backoff_s=config.retry_backoff_s,
+            backoff_cap_s=config.retry_backoff_cap_s,
+        )
+        #: The degradation ladder's last rung: a flush that exhausts its
+        #: deadline budget is dispatched greedily (sequential
+        #: cheapest-quote, no batch solve), unhardened by design.
+        self._fallback_policy = GreedyPolicy()
+
         self.dispatcher = Dispatcher(
             engine,
             self.agents,
@@ -110,6 +143,8 @@ class Simulation:
                 num_shards=config.num_shards,
                 shard_backend=config.shard_backend,
                 shard_boundary_cells=config.shard_boundary_cells,
+                injector=self.fault_injector,
+                retry=self.retry_policy,
             ),
         )
         self.batch_window = (
@@ -129,13 +164,43 @@ class Simulation:
             workers=config.quote_workers,
             backend=config.quote_backend,
             tracer=self.tracer,
+            injector=self.fault_injector,
+            retry=self.retry_policy,
         )
-        self.report = SimulationReport()
-        self.report.tracer = self.tracer
 
     # ------------------------------------------------------------------
+    def _install_engine_faults(self) -> bool:
+        """Shadow ``engine.distance_many`` with a fault-drawing wrapper
+        (instance attribute — the class stays untouched). Draws only
+        happen inside an open engine window (quote computation); the
+        greedy fallback and commit paths never open one, so the ladder's
+        last rung stays fault-immune. Returns whether a wrapper was
+        installed (the caller must restore it — engines are shared
+        across runs in bench/test contexts)."""
+        injector = self.fault_injector
+        if not injector.wants("engine.distance_many"):
+            return False
+        original = self.engine.distance_many
+
+        def distance_many_with_faults(source, targets):
+            fault, sleeping = injector.draw_engine()
+            if fault is not None:
+                return run_with_fault(fault, sleeping, None, original, source, targets)
+            return original(source, targets)
+
+        self.engine.distance_many = distance_many_with_faults
+        return True
+
     def run(self) -> SimulationReport:
         """Process every event; returns the aggregated report."""
+        engine_faults = self._install_engine_faults()
+        try:
+            return self._run()
+        finally:
+            if engine_faults:
+                del self.engine.distance_many
+
+    def _run(self) -> SimulationReport:
         started = clock()
         queue = EventQueue()
         for spec in self.trips:
@@ -255,6 +320,19 @@ class Simulation:
                 carry_deadline = None
                 if self.config.carry_over and next_flush is not None:
                     carry_deadline = next_flush + controller.overlap_s
+                # Fault-carry bound: same instant, but armed whenever a
+                # next flush exists — the ladder's carry rescue must work
+                # even with carry-over batching disabled.
+                fault_deadline = (
+                    next_flush + controller.overlap_s
+                    if next_flush is not None
+                    else None
+                )
+                budget = (
+                    FlushBudget(self.config.flush_deadline_s)
+                    if self.config.flush_deadline_s is not None
+                    else None
+                )
                 pending = None
                 if self.batch_dispatcher.policy.uses_quote_set:
                     # Quote stage: candidate filtering and decision points
@@ -267,13 +345,22 @@ class Simulation:
                         requests=len(requests),
                     ):
                         pending = self.quote_service.begin(
-                            self.dispatcher, requests, commit_time
+                            self.dispatcher,
+                            requests,
+                            commit_time,
+                            budget=budget,
                         )
                 queue.push(
                     Event(
                         commit_time,
                         EventKind.QUOTE_READY,
-                        (requests, pending, carry_deadline, flush_id),
+                        (
+                            requests,
+                            pending,
+                            carry_deadline,
+                            fault_deadline,
+                            flush_id,
+                        ),
                     )
                 )
         if next_flush is not None:
@@ -284,12 +371,13 @@ class Simulation:
         columns), then solve and commit through the policy — all under
         the flush's main ``flush`` span (its ``flush`` arg links it to
         the issuing ``flush.issue`` span)."""
-        requests, pending, carry_deadline, flush_id = payload
+        requests, pending, carry_deadline, fault_deadline, flush_id = payload
         wall_start = clock()
         with self.tracer.span(
             "flush", flush=flush_id, requests=len(requests), sim_now=round(now, 3)
         ):
             quote_set = None
+            degraded = False
             if pending is not None:
                 collect_start = clock()
                 with self.tracer.span(
@@ -315,12 +403,23 @@ class Simulation:
                 )
                 self.report.record_quote_stage(quote_set, overlapped)
                 self.window_controller.observe_quote_stage(quote_set.quote_seconds)
+                if quote_set.deadline_exceeded:
+                    # Ladder's last rung: the flush blew its deadline
+                    # budget mid-quote. Drop the partial quote set and
+                    # dispatch this one flush greedily — the next flush
+                    # starts a fresh budget and recovers the full
+                    # pipeline.
+                    degraded = True
+                    quote_set = None
+                    self.report.record_flush_degraded()
             self._dispatch_batch(
                 requests,
                 now,
                 queue,
                 quote_set=quote_set,
                 carry_deadline=carry_deadline,
+                fault_deadline=fault_deadline,
+                degraded=degraded,
                 in_flush=True,
             )
         self.report.record_flush_wall(clock() - wall_start)
@@ -332,6 +431,8 @@ class Simulation:
         queue: EventQueue,
         quote_set=None,
         carry_deadline: float | None = None,
+        fault_deadline: float | None = None,
+        degraded: bool = False,
         in_flush: bool = False,
     ) -> None:
         """Assign one batch and fold the outcome into the report; each
@@ -342,23 +443,53 @@ class Simulation:
         settles them; ``carry_deadline=None`` (immediate dispatch, the
         end-of-run safety net, final flushes) settles everything here.
         ``in_flush=True`` (the pipelined path) means the caller already
-        opened the flush span and owns the flush wall-time sample."""
+        opened the flush span and owns the flush wall-time sample.
+        ``degraded=True`` is the ladder's last rung: dispatch through
+        the greedy fallback policy for this flush only."""
         if in_flush:
-            self._commit_batch(requests, now, queue, quote_set, carry_deadline)
+            self._commit_batch(
+                requests, now, queue, quote_set, carry_deadline,
+                fault_deadline=fault_deadline, degraded=degraded,
+            )
             return
         wall_start = clock()
         with self.tracer.span(
             "flush", requests=len(requests), sim_now=round(now, 3)
         ):
-            self._commit_batch(requests, now, queue, quote_set, carry_deadline)
+            self._commit_batch(
+                requests, now, queue, quote_set, carry_deadline,
+                fault_deadline=fault_deadline, degraded=degraded,
+            )
         self.report.record_flush_wall(clock() - wall_start)
 
     def _commit_batch(
-        self, requests, now, queue, quote_set, carry_deadline
+        self,
+        requests,
+        now,
+        queue,
+        quote_set,
+        carry_deadline,
+        fault_deadline=None,
+        degraded=False,
     ) -> None:
-        batch = self.batch_dispatcher.dispatch(
-            requests, now, quote_set=quote_set, carry_deadline=carry_deadline
-        )
+        if degraded:
+            # Greedy downgrade: sequential cheapest-quote dispatch, no
+            # batch solve, no quote workers, no fault hardening — the
+            # one rung guaranteed not to consume any failed machinery.
+            batch = self._fallback_policy.assign(
+                self.dispatcher,
+                list(requests),
+                now,
+                carry_deadline=carry_deadline,
+            )
+        else:
+            batch = self.batch_dispatcher.dispatch(
+                requests,
+                now,
+                quote_set=quote_set,
+                carry_deadline=carry_deadline,
+                fault_deadline=fault_deadline,
+            )
         self.report.record_batch(batch)
         if batch.carried:
             for item in batch.carried:
@@ -371,6 +502,8 @@ class Simulation:
                     timings + item.quote_timings,
                     times + 1,
                 )
+                if item.fault_rescued:
+                    self.report.record_fault_rescue()
                 self.report.record_carry(now - item.request.request_time)
             self.batch_window.carry(item.request for item in batch.carried)
         winners: dict[int, object] = {}

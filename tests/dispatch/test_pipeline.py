@@ -294,10 +294,12 @@ def test_worker_failure_is_repaired_by_requote(monkeypatch):
     poisoned = dispatcher.agents[2]
     real_task = quoting_module._quote_task
 
-    def exploding_task(agent, reqs, now, objective, decision, tracer, parent):
+    def exploding_task(agent, reqs, now, objective, decision, tracer, parent,
+                       *fault_args, **fault_kwargs):
         if agent is poisoned:
             raise RuntimeError("schedule mutated mid-quote")
-        return real_task(agent, reqs, now, objective, decision, tracer, parent)
+        return real_task(agent, reqs, now, objective, decision, tracer, parent,
+                         *fault_args, **fault_kwargs)
 
     monkeypatch.setattr(quoting_module, "_quote_task", exploding_task)
     with QuoteService(workers=2, backend="thread") as service:

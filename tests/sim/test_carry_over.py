@@ -109,7 +109,7 @@ def test_disabled_config_matches_pre_controller_fixed_window(scenario):
                     Event(
                         commit_time,
                         EventKind.QUOTE_READY,
-                        (requests, pending, None, 0),
+                        (requests, pending, None, None, 0),
                     )
                 )
             if now < self.horizon:

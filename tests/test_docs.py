@@ -91,6 +91,7 @@ def test_readme_names_every_bench_json():
         "BENCH_shard.json",
         "BENCH_pipeline.json",
         "BENCH_adaptive.json",
+        "BENCH_chaos.json",
     ):
         assert name in readme, f"{name} not described in README"
 
