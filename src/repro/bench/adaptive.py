@@ -43,6 +43,7 @@ import os
 import sys
 from statistics import mean
 
+from repro.bench.trend import attach_series
 from repro.core.constraints import ConstraintConfig
 from repro.roadnet.engine import make_engine
 from repro.roadnet.generators import grid_city
@@ -282,6 +283,7 @@ def run_adaptive_bench(
         "best_fixed": best_fixed,
         "runs": runs,
     }
+    attach_series(result)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)

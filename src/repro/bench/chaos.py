@@ -32,6 +32,7 @@ import json
 import os
 import sys
 
+from repro.bench.trend import attach_series
 from repro.roadnet.engine import make_engine
 from repro.roadnet.generators import grid_city
 from repro.sim.config import SimulationConfig
@@ -198,6 +199,7 @@ def run_chaos_bench(
         },
         "runs": runs,
     }
+    attach_series(result)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)

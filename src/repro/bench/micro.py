@@ -27,6 +27,7 @@ import time as _time
 
 import numpy as np
 
+from repro.bench.trend import attach_series
 from repro.exceptions import DisconnectedError
 from repro.roadnet.engine import ENGINE_KINDS as _ALL_KINDS
 from repro.roadnet.engine import make_engine
@@ -135,6 +136,7 @@ def run_micro(
         },
         "engines": engines,
     }
+    attach_series(result)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)

@@ -38,6 +38,7 @@ import json
 import os
 import sys
 
+from repro.bench.trend import attach_series
 from repro.core.constraints import ConstraintConfig
 from repro.roadnet.engine import make_engine
 from repro.roadnet.generators import grid_city
@@ -188,6 +189,7 @@ def run_pipeline_bench(
         },
         "runs": runs,
     }
+    attach_series(result)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)

@@ -36,6 +36,7 @@ import time as _time
 
 import numpy as np
 
+from repro.bench.trend import attach_series
 from repro.core.matching import Dispatcher
 from repro.dispatch.costs import build_cost_matrix
 from repro.dispatch.sharding import ShardExecutor, ShardPartitioner, solve_sharded
@@ -188,6 +189,7 @@ def run_shard_bench(
         },
         "runs": runs,
     }
+    attach_series(result)
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)

@@ -1,0 +1,154 @@
+"""Bench-trend series: extraction, history, regression comparison.
+
+Every benchmark (:mod:`repro.bench`) writes a ``BENCH_*.json``
+document. This module names the *trend series* inside those documents
+— the handful of scalar numbers worth tracking run-over-run (solver
+throughput, per-flush seconds, overlap ratio, service rates) — and
+compares a current extraction against a committed history file
+(``benchmarks/results/trend.json``), flagging changes beyond a
+percentage threshold in each series' *worse* direction.
+
+Two extraction paths, so old documents keep working:
+
+* new documents carry an embedded ``trend_series`` block — benchmarks
+  call :func:`attach_series` on the doc just before writing it;
+* documents without one (anything committed before this module
+  existed) fall back to the same pattern table the embed was built
+  from, so ``tools/bench_trend.py`` never needs the benches re-run.
+
+A series' ``direction`` says which way is better: ``higher``
+(throughput, speedup, service rate) or ``lower`` (seconds, latency).
+Regression percentage is always measured in the worse direction, so a
+``+20 %`` regression on ``per_flush_seconds`` means it got 20 % slower.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: benchmark id (the doc's ``benchmark`` key) -> (dotted path pattern,
+#: direction) pairs. ``*`` matches every key at that level; patterns
+#: that match nothing contribute nothing (benchmarks vary their run
+#: sets).
+SERIES_PATTERNS: dict[str, tuple[tuple[str, str], ...]] = {
+    "distance_plane_fan_out": (
+        ("engines.*.batched_queries_per_sec", "higher"),
+        ("engines.*.speedup", "higher"),
+    ),
+    "sharded_dispatch_flush": (
+        ("global_solve.seconds", "lower"),
+        ("runs.*.*.per_flush_seconds", "lower"),
+        ("runs.*.*.speedup_vs_serial_1", "higher"),
+    ),
+    "pipeline_overlap": (
+        ("runs.*.overlap_ratio_mean", "higher"),
+        ("runs.*.assigned", "higher"),
+    ),
+    "adaptive_window": (
+        ("runs.*.peak_service_rate", "higher"),
+        ("runs.*.service_rate", "higher"),
+        ("runs.*.assign_latency_s_p99", "lower"),
+    ),
+    "chaos": (
+        ("runs.*.*.service_rate", "higher"),
+    ),
+}
+
+
+def _walk(node, parts: list[str], prefix: str):
+    """Yield ``(dotted_path, value)`` for every match of the pattern."""
+    if not parts:
+        yield prefix, node
+        return
+    head, rest = parts[0], parts[1:]
+    if not isinstance(node, dict):
+        return
+    keys = sorted(node) if head == "*" else ([head] if head in node else [])
+    for key in keys:
+        child_prefix = f"{prefix}.{key}" if prefix else key
+        yield from _walk(node[key], rest, child_prefix)
+
+
+def extract_series(doc: dict) -> dict[str, dict]:
+    """The doc's trend series: ``{path: {"value", "direction"}}``.
+
+    Prefers the embedded ``trend_series`` block; falls back to pattern
+    extraction keyed on the doc's ``benchmark`` id. Unknown benchmarks
+    (or docs with no numeric matches) yield an empty dict — the tool
+    reports them as untracked rather than failing.
+    """
+    embedded = doc.get("trend_series")
+    if isinstance(embedded, dict):
+        return dict(embedded)
+    series: dict[str, dict] = {}
+    for pattern, direction in SERIES_PATTERNS.get(doc.get("benchmark"), ()):
+        for path, value in _walk(doc, pattern.split("."), ""):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            series[path] = {"value": float(value), "direction": direction}
+    return series
+
+
+def attach_series(doc: dict) -> dict:
+    """Embed the doc's trend series in place (and return the doc) —
+    benchmarks call this just before writing ``BENCH_*.json`` so the
+    committed document is self-describing."""
+    doc.pop("trend_series", None)
+    doc["trend_series"] = extract_series(doc)
+    return doc
+
+
+def regression_pct(
+    baseline: float, current: float, direction: str
+) -> float | None:
+    """Percent change measured in the series' *worse* direction
+    (positive = regressed); ``None`` when the baseline is zero."""
+    if baseline == 0:
+        return None
+    if direction == "higher":
+        return (baseline - current) / abs(baseline) * 100.0
+    return (current - baseline) / abs(baseline) * 100.0
+
+
+def compare_series(
+    current: dict[str, dict],
+    history: dict[str, dict],
+    threshold_pct: float,
+) -> list[dict]:
+    """Diff two extractions of the same document. Returns one record
+    per series present in both, sorted worst-first:
+    ``{series, direction, baseline, current, regression_pct, regressed}``.
+    Series only in one side are skipped (new series have no baseline;
+    removed series have no current)."""
+    records = []
+    for name in sorted(set(current) & set(history)):
+        direction = current[name]["direction"]
+        baseline = history[name]["value"]
+        value = current[name]["value"]
+        pct = regression_pct(baseline, value, direction)
+        records.append(
+            {
+                "series": name,
+                "direction": direction,
+                "baseline": baseline,
+                "current": value,
+                "regression_pct": pct,
+                "regressed": pct is not None and pct > threshold_pct,
+            }
+        )
+    records.sort(
+        key=lambda r: -(r["regression_pct"] or float("-inf"))
+    )
+    return records
+
+
+def collect_bench_documents(root: str) -> dict[str, dict]:
+    """Load every ``BENCH_*.json`` directly under ``root``:
+    ``{file name: parsed doc}``."""
+    documents = {}
+    for name in sorted(os.listdir(root)):
+        if name.startswith("BENCH_") and name.endswith(".json"):
+            with open(os.path.join(root, name), encoding="utf-8") as handle:
+                documents[name] = json.load(handle)
+    return documents

@@ -481,6 +481,13 @@ class QuoteService:
             )
         return self._pool
 
+    def queue_depth(self) -> int | None:
+        """In-flight column quotes on the async pool; ``None`` before
+        the pool exists (deferred mode never builds one). The resource
+        monitor's queue-depth probe."""
+        pool = self._pool
+        return pool.queue_depth() if pool is not None else None
+
     # ------------------------------------------------------------------
     def begin(
         self,

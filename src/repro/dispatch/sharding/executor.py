@@ -31,6 +31,7 @@ flush — the sharded solver re-solves it serially in the parent.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import (
     BrokenExecutor,
@@ -95,6 +96,12 @@ class WorkerPool:
         self.max_workers = max_workers
         self.injector = injector
         self._pool = None
+        # In-flight submissions on the real (concurrent) pool — the
+        # queue-depth signal the resource monitor samples. Serial and
+        # injected-fault submissions resolve before submit() returns,
+        # so they never count.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return (
@@ -141,7 +148,7 @@ class WorkerPool:
                 future.set_exception(error)
             return future
         try:
-            return self._get_pool().submit(fn, *args, **kwargs)
+            future = self._get_pool().submit(fn, *args, **kwargs)
         except BrokenExecutor as error:
             # The pool died before this submission (a worker was killed
             # out-of-band). Surface it as a failed future so hardened
@@ -150,6 +157,20 @@ class WorkerPool:
             future = Future()
             future.set_exception(error)
             return future
+        with self._inflight_lock:
+            self._inflight += 1
+        future.add_done_callback(self._submission_done)
+        return future
+
+    def _submission_done(self, _future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def queue_depth(self) -> int:
+        """Submissions currently in flight on the concurrent pool (0 on
+        the serial backend, where everything resolves inline)."""
+        with self._inflight_lock:
+            return self._inflight
 
     def recreate(self) -> None:
         """Drop the current pool (broken or injected-dead) so the next

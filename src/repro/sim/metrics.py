@@ -210,6 +210,35 @@ class SimulationReport:
     service_log: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
+    #: Counters documented in ``docs/robustness.md``; pre-registered at
+    #: report creation so the exported registry always carries them
+    #: (zero included) and docs/export can't drift — asserted by
+    #: ``tests/obs/test_metrics_naming.py``.
+    DOCUMENTED_COUNTERS = (
+        "fault.injected",
+        "retry.count",
+        "pool.recreated",
+        "quote.column_failed",
+        "carry.fault_rescued",
+        "shard.serial_rescue",
+        "flush.degraded",
+    )
+    #: Request/stop outcome counters the live layer and the SLO engine
+    #: window (``docs/observability.md``); pre-registered likewise.
+    SERVICE_COUNTERS = (
+        "requests.settled",
+        "requests.assigned",
+        "requests.rejected",
+        "pickup.count",
+        "pickup.late",
+        "dropoff.count",
+        "dropoff.detour_violation",
+    )
+
+    def __post_init__(self):
+        for name in self.DOCUMENTED_COUNTERS + self.SERVICE_COUNTERS:
+            self.registry.counter(name)
+
     @property
     def service_rate(self) -> float:
         """Fraction of requests assigned to a vehicle."""
@@ -237,11 +266,14 @@ class SimulationReport:
         for active, seconds in result.quote_timings:
             self.art.record(active, seconds)
             art_hist.add(seconds)
+        self.registry.counter("requests.settled").inc()
         if result.assigned:
             self.num_assigned += 1
             self.total_assignment_cost += result.cost
+            self.registry.counter("requests.assigned").inc()
         else:
             self.num_rejected += 1
+            self.registry.counter("requests.rejected").inc()
 
     def record_batch(self, batch) -> None:
         """Fold one :class:`~repro.dispatch.policies.BatchResult` in
@@ -329,6 +361,32 @@ class SimulationReport:
                 min(1.0, max(0.0, overlap_seconds / quote_set.quote_seconds))
             )
 
+    def record_stop_service(
+        self,
+        request,
+        is_pickup: bool,
+        arrival: float,
+        pickup: float | None = None,
+        tolerance: float = 1e-5,
+    ) -> None:
+        """Count one serviced stop against the guarantee, live — the
+        same Definition 2 checks :meth:`verify_service_guarantees` runs
+        at end of run (same tolerance), folded into counters as each
+        stop happens so the SLO engine can window wait-deadline and
+        detour compliance. ``pickup`` is the rider's pickup time (only
+        consulted for dropoffs)."""
+        if is_pickup:
+            self.registry.counter("pickup.count").inc()
+            if arrival > request.pickup_deadline + tolerance:
+                self.registry.counter("pickup.late").inc()
+        else:
+            self.registry.counter("dropoff.count").inc()
+            if (
+                pickup is not None
+                and arrival - pickup > request.max_ride_cost + tolerance
+            ):
+                self.registry.counter("dropoff.detour_violation").inc()
+
     def verify_service_guarantees(self, tolerance: float = 1e-5) -> list[str]:
         """Audit the service log against Definition 2: every assigned
         rider picked up by ``request_time + w`` and carried within
@@ -361,7 +419,7 @@ class SimulationReport:
         """Flat dict for tables and EXPERIMENTS.md."""
         latency = self.registry.histogram("assign.latency_s")
         solve = self.registry.histogram("flush.solve_s")
-        return {
+        summary = {
             "requests": self.num_requests,
             "assigned": self.num_assigned,
             "rejected": self.num_rejected,
@@ -410,6 +468,17 @@ class SimulationReport:
             "fault_rescued_carries": self.fault_rescued_carries,
             "wall_seconds": round(self.wall_seconds, 3),
         }
+        slo = self.extra.get("slo")
+        if slo is not None:
+            summary["slo_pass"] = bool(slo["pass"])
+            summary["slo_windows"] = slo["num_windows"]
+            summary["slo_alert_windows"] = slo["alert_windows"]
+            summary["slo_objectives_failed"] = sum(
+                1
+                for objective in slo["objectives"]
+                if objective["overall_pass"] is False
+            )
+        return summary
 
     def text_summary(self) -> str:
         """Human-readable report block: service/latency numbers plus the
@@ -540,4 +609,23 @@ class SimulationReport:
                 f"{'flushes_degraded':24s} {self.flushes_degraded} "
                 "(deadline tripped; dispatched greedily)"
             )
+        slo = self.extra.get("slo")
+        if slo is not None:
+            lines.append("--- service-level objectives ---")
+            lines.append(
+                f"{'slo':24s} {'PASS' if slo['pass'] else 'FAIL'} "
+                f"({slo['num_windows']} windows, "
+                f"{slo['alert_windows']} burn alerts)"
+            )
+            for objective in slo["objectives"]:
+                value = objective["overall_value"]
+                status = {True: "pass", False: "FAIL", None: "no data"}[
+                    objective["overall_pass"]
+                ]
+                rendered = "—" if value is None else f"{value:g}"
+                lines.append(
+                    f"{objective['label']:24s} {status} "
+                    f"(overall {rendered}, "
+                    f"{objective['burn_alerts']} alert windows)"
+                )
         return "\n".join(lines)

@@ -49,7 +49,13 @@ from repro.faults import (
     parse_fault_spec,
     run_with_fault,
 )
-from repro.obs import Tracer, clock, write_chrome_trace, write_metrics_json
+from repro.obs import (
+    LiveTelemetry,
+    Tracer,
+    clock,
+    write_chrome_trace,
+    write_metrics_json,
+)
 from repro.sim.config import SimulationConfig
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.fleet import build_fleet
@@ -167,6 +173,17 @@ class Simulation:
             injector=self.fault_injector,
             retry=self.retry_policy,
         )
+        #: Live-ops layer (repro.obs.live): sim-time windowed time
+        #: series, SLO engine and resource monitor. ``None`` (the
+        #: default) keeps the event loop's fast path untouched; enabled
+        #: it is still write-only — determinism contract 9 extends to
+        #: it (tests/sim/test_live_telemetry.py).
+        self.live = LiveTelemetry.from_config(
+            config,
+            self.report.registry,
+            self.start_time,
+            depth_probes=(self.quote_service.queue_depth,),
+        )
 
     # ------------------------------------------------------------------
     def _install_engine_faults(self) -> bool:
@@ -224,9 +241,17 @@ class Simulation:
                 )
             )
 
+        live = self.live
         while True:
             while queue:
                 event = queue.pop()
+                if live is not None:
+                    # Close any sim-time telemetry windows this event's
+                    # timestamp completes (the event's own samples then
+                    # land in the next window). Read-and-report only:
+                    # nothing the live layer does feeds back into
+                    # dispatch, so enabling it stays bit-identical.
+                    live.advance(event.time)
                 if event.kind is EventKind.REQUEST_ARRIVAL:
                     self._handle_request(event.payload, event.time, queue)
                 elif event.kind is EventKind.STOP_REACHED:
@@ -250,6 +275,18 @@ class Simulation:
                 continue
             break
 
+        if live is not None:
+            # Final partial window + JSONL flush + SLO verdict, while
+            # the quote pool still exists for the last depth sample.
+            slo_document = live.finish(
+                max(queue.current_time, self.start_time)
+            )
+            if slo_document is not None:
+                self.report.extra["slo"] = slo_document
+            self.report.extra["timeseries"] = {
+                "windows": len(live.recorder.rows),
+                "path": self.config.timeseries_out,
+            }
         self.quote_service.close()
         self.report.wall_seconds = clock() - started
         self.report.extra["engine_stats"] = getattr(
@@ -539,6 +576,14 @@ class Simulation:
         serviced = agent.arrive_next()
         for arrival, stop in serviced:
             entry = self.report.service_log.setdefault(stop.request_id, {})
+            request = entry.get("request")
+            if request is not None:
+                # Live guarantee counters (pickup.late / detour
+                # violations) — read the pickup stamp before this
+                # stop's own entry lands.
+                self.report.record_stop_service(
+                    request, stop.is_pickup, arrival, pickup=entry.get("pickup")
+                )
             entry["pickup" if stop.is_pickup else "dropoff"] = arrival
         self.report.occupancy.observe(vehicle_id, agent.load)
         if self.grid_index is not None:

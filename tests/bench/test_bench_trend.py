@@ -1,0 +1,228 @@
+"""Bench-trend extraction and regression detection.
+
+The acceptance scenario: copy a committed ``BENCH_*.json``, inject a
+synthetic 20 % regression, and ``tools/bench_trend.py`` must flag it
+(exit 1) in gating mode and stay green (exit 0) in ``--report`` mode.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.trend import (
+    attach_series,
+    compare_series,
+    extract_series,
+    regression_pct,
+)
+
+REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+TOOL = os.path.join(REPO, "tools", "bench_trend.py")
+
+
+def run_tool(*args, cwd=REPO):
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    return subprocess.run(
+        [sys.executable, TOOL, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=cwd,
+        timeout=120,
+    )
+
+
+# ----------------------------------------------------------------------
+# Extraction
+# ----------------------------------------------------------------------
+def test_committed_documents_all_extract_series():
+    for name in sorted(os.listdir(REPO)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        with open(os.path.join(REPO, name), encoding="utf-8") as handle:
+            doc = json.load(handle)
+        series = extract_series(doc)
+        assert series, f"{name} yields no trend series"
+        for record in series.values():
+            assert record["direction"] in ("higher", "lower")
+            assert isinstance(record["value"], float)
+
+
+def test_attach_series_embeds_and_takes_precedence():
+    doc = {
+        "benchmark": "distance_plane_fan_out",
+        "engines": {"matrix": {"batched_queries_per_sec": 1000.0}},
+    }
+    attach_series(doc)
+    embedded = doc["trend_series"]
+    assert embedded == {
+        "engines.matrix.batched_queries_per_sec": {
+            "value": 1000.0,
+            "direction": "higher",
+        }
+    }
+    # Once embedded, extraction reads the embed — even if the raw
+    # numbers change (the embed is the document of record).
+    doc["engines"]["matrix"]["batched_queries_per_sec"] = 5.0
+    assert extract_series(doc) == embedded
+
+
+def test_regression_pct_directions():
+    # higher-is-better: a drop regresses
+    assert regression_pct(100.0, 80.0, "higher") == pytest.approx(20.0)
+    assert regression_pct(100.0, 120.0, "higher") == pytest.approx(-20.0)
+    # lower-is-better: a rise regresses
+    assert regression_pct(10.0, 12.0, "lower") == pytest.approx(20.0)
+    assert regression_pct(10.0, 8.0, "lower") == pytest.approx(-20.0)
+    assert regression_pct(0.0, 5.0, "higher") is None
+
+
+def test_compare_series_flags_and_sorts():
+    history = {
+        "a": {"value": 100.0, "direction": "higher"},
+        "b": {"value": 10.0, "direction": "lower"},
+        "gone": {"value": 1.0, "direction": "higher"},
+    }
+    current = {
+        "a": {"value": 70.0, "direction": "higher"},   # 30 % worse
+        "b": {"value": 10.5, "direction": "lower"},    # 5 % worse
+        "new": {"value": 2.0, "direction": "higher"},  # no baseline
+    }
+    records = compare_series(current, history, threshold_pct=10.0)
+    assert [r["series"] for r in records] == ["a", "b"]  # worst first
+    assert records[0]["regressed"] is True
+    assert records[1]["regressed"] is False
+
+
+# ----------------------------------------------------------------------
+# The tool, end to end
+# ----------------------------------------------------------------------
+@pytest.fixture
+def regressed_root(tmp_path):
+    """A root with one copied BENCH doc carrying a 20 % regression,
+    and a history seeded from the original."""
+    source = os.path.join(REPO, "BENCH_micro.json")
+    target = tmp_path / "BENCH_micro.json"
+    shutil.copy(source, target)
+
+    seeded = run_tool(
+        "--root", str(tmp_path),
+        "--history", str(tmp_path / "trend.json"),
+        "--update",
+    )
+    assert seeded.returncode == 0, seeded.stderr
+
+    doc = json.loads(target.read_text(encoding="utf-8"))
+    engine = sorted(doc["engines"])[0]
+    doc["engines"][engine]["batched_queries_per_sec"] *= 0.8  # 20 % drop
+    doc.pop("trend_series", None)  # re-derive from the mutated numbers
+    target.write_text(json.dumps(attach_series(doc)), encoding="utf-8")
+    return tmp_path
+
+
+def test_tool_detects_synthetic_20pct_regression(regressed_root):
+    result = run_tool(
+        "--root", str(regressed_root),
+        "--history", str(regressed_root / "trend.json"),
+        "--threshold", "10",
+    )
+    assert result.returncode == 1, result.stdout + result.stderr
+    assert "REGRESSED" in result.stdout
+    assert "1 regression(s) beyond 10%" in result.stdout
+
+
+def test_report_mode_never_gates(regressed_root):
+    result = run_tool(
+        "--root", str(regressed_root),
+        "--history", str(regressed_root / "trend.json"),
+        "--threshold", "10",
+        "--report",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "REGRESSED" in result.stdout
+
+
+def test_json_mode_reports_the_regression(regressed_root):
+    result = run_tool(
+        "--root", str(regressed_root),
+        "--history", str(regressed_root / "trend.json"),
+        "--threshold", "10",
+        "--json", "--report",
+    )
+    assert result.returncode == 0
+    document = json.loads(result.stdout)
+    assert document["regressions"] == 1
+    records = document["documents"]["BENCH_micro.json"]
+    assert records[0]["regressed"] is True
+    assert records[0]["regression_pct"] == pytest.approx(20.0, abs=0.1)
+
+
+def test_threshold_above_the_injected_drop_passes(regressed_root):
+    result = run_tool(
+        "--root", str(regressed_root),
+        "--history", str(regressed_root / "trend.json"),
+        "--threshold", "25",
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_missing_history_is_a_clear_error(tmp_path):
+    shutil.copy(
+        os.path.join(REPO, "BENCH_micro.json"), tmp_path / "BENCH_micro.json"
+    )
+    gating = run_tool(
+        "--root", str(tmp_path), "--history", str(tmp_path / "none.json")
+    )
+    assert gating.returncode == 2
+    assert "no trend history" in gating.stderr
+    report = run_tool(
+        "--root", str(tmp_path),
+        "--history", str(tmp_path / "none.json"),
+        "--report",
+    )
+    assert report.returncode == 0
+
+
+def test_no_documents_is_a_clear_error(tmp_path):
+    result = run_tool("--root", str(tmp_path))
+    assert result.returncode == 2
+    assert "no BENCH_*.json" in result.stderr
+
+
+def test_update_then_gate_round_trip_on_real_documents(tmp_path):
+    """``--update`` followed by gating against the history it wrote is
+    clean on the repo's real BENCH docs. Values are not pinned against
+    the committed ``trend.json`` — the benchmark tests in this very
+    suite regenerate the docs with fresh wall-clock numbers, so a
+    percentage gate on them would flake with machine load; CI runs the
+    non-gating ``--report`` mode for the same reason."""
+    history = tmp_path / "trend.json"
+    seeded = run_tool("--history", str(history), "--update")
+    assert seeded.returncode == 0, seeded.stderr
+    result = run_tool("--history", str(history), "--threshold", "10")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "no regressions beyond 10%" in result.stdout
+
+
+def test_committed_history_covers_committed_documents():
+    """The committed ``trend.json`` tracks every BENCH doc's series by
+    *name* (names are deterministic; values drift with the machine)."""
+    with open(
+        os.path.join(REPO, "benchmarks", "results", "trend.json"),
+        encoding="utf-8",
+    ) as handle:
+        history = json.load(handle)["series"]
+    for name in sorted(os.listdir(REPO)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        with open(os.path.join(REPO, name), encoding="utf-8") as handle:
+            current = extract_series(json.load(handle))
+        assert name in history, f"{name} untracked in trend.json"
+        assert set(current) == set(history[name]), (
+            f"{name}: series names diverge from trend.json — re-seed "
+            "with `python tools/bench_trend.py --update` and commit"
+        )

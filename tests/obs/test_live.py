@@ -1,0 +1,236 @@
+"""Unit tests for the windowed time-series recorder and coordinator."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, TimeSeriesRecorder
+from repro.obs.live import LiveTelemetry, render_live_line
+from repro.sim.config import SimulationConfig
+
+
+def make_recorder(registry, **kwargs):
+    defaults = dict(window_s=10.0, start_time=100.0, ring=3)
+    defaults.update(kwargs)
+    return TimeSeriesRecorder(registry, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Window rolling
+# ----------------------------------------------------------------------
+def test_windows_roll_on_sim_time():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests.settled")
+    recorder = make_recorder(registry)
+
+    counter.inc(3)
+    recorder.advance(105.0)  # inside window 0: nothing closes
+    assert recorder.rows == []
+    recorder.advance(110.0)  # exactly the boundary closes window 0
+    assert len(recorder.rows) == 1
+    counter.inc(2)
+    recorder.advance(131.0)  # completes windows 1 and 2
+    assert [r["window"] for r in recorder.rows] == [0, 1, 2]
+    assert [r["t_start"] for r in recorder.rows] == [100.0, 110.0, 120.0]
+    assert [r["t_end"] for r in recorder.rows] == [110.0, 120.0, 130.0]
+    # Deltas: 3 settles before the first boundary, 2 after it.
+    assert recorder.rows[0]["counters"] == {"requests.settled": 3}
+    assert recorder.rows[1]["counters"] == {"requests.settled": 2}
+    assert recorder.rows[2]["counters"] == {}  # zero deltas are elided
+    assert recorder.rows[0]["throughput_rps"] == pytest.approx(0.3)
+    assert recorder.rows[1]["throughput_rps"] == pytest.approx(0.2)
+
+
+def test_histogram_window_deltas_and_rolling_merge():
+    registry = MetricsRegistry()
+    hist = registry.histogram("assign.latency_s")
+    recorder = make_recorder(registry, ring=2)
+
+    hist.add(1.0)
+    hist.add(2.0)
+    recorder.advance(110.0)
+    hist.add(100.0)
+    recorder.advance(120.0)
+
+    first, second = recorder.rows
+    assert first["histograms"]["assign.latency_s"]["count"] == 2
+    assert second["histograms"]["assign.latency_s"]["count"] == 1
+    # Window 1's delta covers only the late sample.
+    assert second["histograms"]["assign.latency_s"]["p50"] == pytest.approx(
+        100.0, rel=0.19
+    )
+    # Rolling view merges the ring (both windows here).
+    rolling = second["rolling"]["assign.latency_s"]
+    assert rolling["windows"] == 2
+    assert rolling["count"] == 3
+    assert rolling["p50"] == pytest.approx(2.0, rel=0.19)
+
+    # A third window evicts window 0 from the ring of 2.
+    hist.add(50.0)
+    recorder.advance(130.0)
+    rolling = recorder.rows[-1]["rolling"]["assign.latency_s"]
+    assert rolling["windows"] == 2
+    assert rolling["count"] == 2  # the two early samples fell out
+
+
+def test_instrument_created_mid_run_appears_in_next_window():
+    registry = MetricsRegistry()
+    recorder = make_recorder(registry)
+    recorder.advance(110.0)
+    late = registry.histogram("late.metric_s")
+    late.add(0.5)
+    registry.counter("late.counter").inc(4)
+    recorder.advance(120.0)
+    row = recorder.rows[-1]
+    assert row["histograms"]["late.metric_s"]["count"] == 1
+    assert row["counters"]["late.counter"] == 4
+
+
+def test_finish_emits_final_partial_window(tmp_path):
+    out = tmp_path / "ts.jsonl"
+    registry = MetricsRegistry()
+    counter = registry.counter("requests.settled")
+    recorder = make_recorder(registry, out_path=str(out))
+    counter.inc(7)
+    recorder.finish(114.0)  # 1.4 windows: one full roll never happened
+    assert len(recorder.rows) == 2
+    partial = recorder.rows[-1]
+    assert partial["t_start"] == 110.0
+    assert partial["t_end"] == 114.0
+    assert partial["window_s"] == pytest.approx(4.0)
+    rows = [
+        json.loads(line)
+        for line in out.read_text(encoding="utf-8").splitlines()
+    ]
+    assert rows == recorder.rows
+    # Idempotent: a second finish neither rolls nor rewrites.
+    recorder.finish(200.0)
+    assert len(recorder.rows) == 2
+
+
+def test_finish_on_empty_run_still_writes_one_row(tmp_path):
+    out = tmp_path / "ts.jsonl"
+    recorder = make_recorder(MetricsRegistry(), out_path=str(out))
+    recorder.finish(100.0)
+    assert len(recorder.rows) == 1
+    assert recorder.rows[0]["window_s"] == 0.0
+    assert recorder.rows[0]["throughput_rps"] == 0.0
+
+
+def test_observers_see_full_deltas():
+    registry = MetricsRegistry()
+    seen = []
+    recorder = make_recorder(registry)
+    registry.counter("a").inc(2)
+    registry.histogram("h_s").add(1.0)
+    recorder.observers.append(
+        lambda row, counters, hists: seen.append((row, counters, hists))
+    )
+    recorder.advance(120.0)
+    assert len(seen) == 2
+    row, counters, hists = seen[0]
+    assert counters["a"] == 2
+    assert hists["h_s"].count == 1
+    # Second window: zero deltas are still present for observers.
+    _, counters, hists = seen[1]
+    assert counters["a"] == 0
+    assert hists["h_s"].count == 0
+
+
+def test_live_report_cadence():
+    printed = []
+    registry = MetricsRegistry()
+    recorder = make_recorder(
+        registry, live_report_every=2, print_fn=printed.append
+    )
+    recorder.advance(160.0)  # windows 0..5 close
+    assert len(recorder.rows) == 6
+    assert len(printed) == 3  # windows 0, 2, 4
+    assert all(line.startswith("[live]") for line in printed)
+
+
+def test_render_live_line_contents():
+    row = {
+        "window": 3,
+        "t_start": 300.0,
+        "t_end": 360.0,
+        "counters": {"requests.settled": 10, "requests.assigned": 9},
+        "gauges": {"resource.rss_bytes": 64 * 2**20},
+        "rolling": {"assign.latency_s": {"p99": 0.25}},
+    }
+    line = render_live_line(row)
+    assert "w  3" in line
+    assert "settled=10" in line
+    assert "service=90%" in line
+    assert "assign_p99=250.0ms" in line
+    assert "rss=64MiB" in line
+
+
+def test_render_live_line_handles_empty_window():
+    line = render_live_line(
+        {
+            "window": 0,
+            "t_start": 0.0,
+            "t_end": 60.0,
+            "counters": {},
+            "gauges": {},
+            "rolling": {},
+        }
+    )
+    assert "service=--" in line
+    assert "assign_p99=--" in line
+
+
+def test_recorder_rejects_bad_params():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="window_s"):
+        TimeSeriesRecorder(registry, window_s=0.0, start_time=0.0)
+    with pytest.raises(ValueError, match="ring"):
+        TimeSeriesRecorder(registry, window_s=1.0, start_time=0.0, ring=0)
+
+
+# ----------------------------------------------------------------------
+# LiveTelemetry coordinator
+# ----------------------------------------------------------------------
+def test_from_config_disabled_returns_none():
+    config = SimulationConfig()
+    assert LiveTelemetry.from_config(config, MetricsRegistry(), 0.0) is None
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"timeseries_out": "ts.jsonl"},
+        {"slo": "service_rate>=0.5"},
+        {"live_report_every": 3},
+        {"resource_monitor": True},
+    ],
+)
+def test_from_config_any_live_feature_enables(tmp_path, overrides):
+    if "timeseries_out" in overrides:
+        overrides["timeseries_out"] = str(tmp_path / "ts.jsonl")
+    config = SimulationConfig(**overrides)
+    live = LiveTelemetry.from_config(config, MetricsRegistry(), 0.0)
+    assert live is not None
+    live.finish(0.0)
+
+
+def test_finish_writes_slo_document(tmp_path):
+    slo_path = tmp_path / "slo.json"
+    registry = MetricsRegistry()
+    live = LiveTelemetry(
+        registry,
+        start_time=0.0,
+        window_s=10.0,
+        slo_spec="service_rate>=0.5",
+        slo_out=str(slo_path),
+    )
+    registry.counter("requests.settled").inc(4)
+    registry.counter("requests.assigned").inc(4)
+    live.advance(25.0)
+    document = live.finish(25.0)
+    assert document is not None and document["pass"] is True
+    on_disk = json.loads(slo_path.read_text(encoding="utf-8"))
+    assert on_disk == document
+    # Idempotent finish returns the same document without rewriting.
+    assert live.finish(99.0) == document

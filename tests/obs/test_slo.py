@@ -1,0 +1,242 @@
+"""SLO grammar, burn-rate math and verdict-document tests."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, SloEngine, SloObjective, parse_slo_spec
+from repro.sim.config import SimulationConfig
+
+
+def latency_delta(*samples):
+    """A HistogramSnapshot holding exactly ``samples``."""
+    hist = MetricsRegistry().histogram("assign.latency_s")
+    for sample in samples:
+        hist.add(sample)
+    return hist.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+def test_parse_full_spec():
+    objectives = parse_slo_spec(
+        "service_rate>=0.9, wait_p99 <= 300,detour_compliance>=0.99"
+    )
+    assert [o.label for o in objectives] == [
+        "service_rate>=0.9",
+        "wait_p99<=300",
+        "detour_compliance>=0.99",
+    ]
+    assert objectives[0].kind == "ratio"
+    assert objectives[1].kind == "latency"
+    assert objectives[1].threshold == 300.0
+
+
+def test_parse_disabled_specs():
+    assert parse_slo_spec(None) == ()
+    assert parse_slo_spec("") == ()
+    assert parse_slo_spec("   ") == ()
+
+
+@pytest.mark.parametrize(
+    ("spec", "match"),
+    [
+        ("service_rate>0.9", "needs '>=' or '<='"),
+        ("latency<=5", "unknown SLO metric"),
+        ("service_rate>=fast", "not a number"),
+        ("service_rate>=1.5", "must be in \\[0, 1\\]"),
+        ("wait_p99<=0", "must be positive"),
+        ("wait_p99<=-3", "must be positive"),
+        ("service_rate>=0.9,service_rate>=0.9", "duplicate"),
+        (",", "contains no clauses"),
+    ],
+)
+def test_parse_rejects_bad_specs(spec, match):
+    with pytest.raises(ValueError, match=match):
+        parse_slo_spec(spec)
+
+
+def test_objective_holds():
+    above = SloObjective("service_rate", ">=", 0.9)
+    assert above.holds(0.9) and above.holds(1.0) and not above.holds(0.89)
+    below = SloObjective("wait_p99", "<=", 300.0)
+    assert below.holds(300.0) and not below.holds(300.1)
+
+
+def test_config_validates_slo_at_construction(tmp_path):
+    with pytest.raises(ValueError, match="unknown SLO metric"):
+        SimulationConfig(slo="bogus>=1")
+    with pytest.raises(ValueError, match="slo_out requires"):
+        SimulationConfig(slo_out=str(tmp_path / "slo.json"))
+    SimulationConfig(
+        slo="service_rate>=0.9", slo_out=str(tmp_path / "slo.json")
+    )  # valid pairing constructs fine
+
+
+# ----------------------------------------------------------------------
+# Burn-rate math
+# ----------------------------------------------------------------------
+def make_engine(spec, window_s=60.0, burn_windows=3, burn_threshold=1.0):
+    return SloEngine(
+        parse_slo_spec(spec),
+        window_s,
+        burn_windows=burn_windows,
+        burn_threshold=burn_threshold,
+    )
+
+
+def test_ratio_burn_rate():
+    engine = make_engine("service_rate>=0.9")
+    row = engine.observe_window(
+        0, 0.0, 60.0,
+        {"requests.settled": 10, "requests.rejected": 2},
+        {},
+    )
+    # value 0.8: error 0.2 against budget 0.1 -> burn 2.0, fast == slow
+    # on the first window, so this alerts.
+    burn = row["burn"]["service_rate>=0.9"]
+    assert burn["fast"] == pytest.approx(2.0)
+    assert burn["slow"] == pytest.approx(2.0)
+    assert burn["alert"] is True
+    assert row["verdicts"]["service_rate>=0.9"] == "fail"
+    assert row["metrics"]["service_rate"] == pytest.approx(0.8)
+
+
+def test_zero_budget_objective():
+    engine = make_engine("service_rate>=1")
+    perfect = engine.observe_window(
+        0, 0.0, 60.0, {"requests.settled": 5, "requests.rejected": 0}, {}
+    )
+    assert perfect["burn"]["service_rate>=1"]["fast"] == 0.0
+    failing = engine.observe_window(
+        1, 60.0, 120.0, {"requests.settled": 5, "requests.rejected": 1}, {}
+    )
+    assert failing["burn"]["service_rate>=1"]["fast"] == math.inf
+
+
+def test_latency_burn_rate():
+    engine = make_engine("wait_p99<=0.2")
+    row = engine.observe_window(
+        0, 0.0, 60.0, {},
+        {"assign.latency_s": latency_delta(0.4, 0.4, 0.4)},
+    )
+    burn = row["burn"]["wait_p99<=0.2"]
+    # p99 of three equal samples is ~0.4 -> burn ~2 (within the
+    # histogram's 19 % bucket-width error).
+    assert burn["fast"] == pytest.approx(2.0, rel=0.19)
+    assert burn["alert"] is True
+    assert row["verdicts"]["wait_p99<=0.2"] == "fail"
+
+
+def test_inverted_objectives_have_verdicts_but_no_burn():
+    engine = make_engine("service_rate<=0.5")
+    row = engine.observe_window(
+        0, 0.0, 60.0, {"requests.settled": 10, "requests.rejected": 1}, {}
+    )
+    assert row["verdicts"]["service_rate<=0.5"] == "fail"  # 0.9 > 0.5
+    assert row["burn"]["service_rate<=0.5"] == {
+        "fast": None, "slow": None, "alert": False,
+    }
+
+
+def test_no_data_window():
+    engine = make_engine("service_rate>=0.9,wait_p99<=1")
+    row = engine.observe_window(0, 0.0, 60.0, {}, {})
+    assert row["verdicts"] == {
+        "service_rate>=0.9": "no_data",
+        "wait_p99<=1": "no_data",
+    }
+    assert row["burn"]["service_rate>=0.9"]["alert"] is False
+    document = engine.finalize()
+    assert document["objectives"][0]["overall_pass"] is None
+    assert document["pass"] is True  # no traffic is not a violation
+
+
+def test_alert_needs_fast_and_slow():
+    # Two good windows build up budget; one bad window then has a high
+    # fast burn but a merged (slow) burn at/below threshold -> no alert.
+    engine = make_engine("service_rate>=0.8", burn_windows=3)
+    for index in range(2):
+        engine.observe_window(
+            index, index * 60.0, (index + 1) * 60.0,
+            {"requests.settled": 40, "requests.rejected": 0},
+            {},
+        )
+    spike = engine.observe_window(
+        2, 120.0, 180.0,
+        {"requests.settled": 10, "requests.rejected": 4},
+        {},
+    )
+    burn = spike["burn"]["service_rate>=0.8"]
+    assert burn["fast"] == pytest.approx(2.0)  # window value 0.6
+    # merged: 90 settled, 4 rejected -> error 4/90 against budget 0.2
+    assert burn["slow"] == pytest.approx((4 / 90) / 0.2)
+    assert burn["alert"] is False
+
+    # Sustained failure pushes the slow burn over the threshold too.
+    for index in range(3, 5):
+        row = engine.observe_window(
+            index, index * 60.0, (index + 1) * 60.0,
+            {"requests.settled": 10, "requests.rejected": 4},
+            {},
+        )
+    assert row["burn"]["service_rate>=0.8"]["alert"] is True
+    document = engine.finalize()
+    assert document["alert_windows"] >= 1
+
+
+def test_slow_latency_burn_merges_windows():
+    engine = make_engine("wait_p50<=1", burn_windows=2)
+    engine.observe_window(
+        0, 0.0, 60.0, {}, {"assign.latency_s": latency_delta(0.1, 0.1)}
+    )
+    row = engine.observe_window(
+        1, 60.0, 120.0, {}, {"assign.latency_s": latency_delta(3.0, 3.0)}
+    )
+    burn = row["burn"]["wait_p50<=1"]
+    assert burn["fast"] == pytest.approx(3.0, rel=0.19)
+    # merged p50 over [0.1, 0.1, 3.0, 3.0] sits between the modes
+    assert 0.1 <= burn["slow"] <= 3.0
+
+
+# ----------------------------------------------------------------------
+# Verdict document
+# ----------------------------------------------------------------------
+def test_finalize_document_shape():
+    spec = "service_rate>=0.9,wait_p99<=300"
+    engine = make_engine(spec, window_s=60.0)
+    engine.observe_window(
+        0, 0.0, 60.0,
+        {"requests.settled": 10, "requests.rejected": 0},
+        {"assign.latency_s": latency_delta(1.0, 2.0)},
+    )
+    engine.observe_window(
+        1, 60.0, 120.0,
+        {"requests.settled": 10, "requests.rejected": 4},
+        {},
+    )
+    document = engine.finalize(spec)
+    assert document["spec"] == spec
+    assert document["window_s"] == 60.0
+    assert document["num_windows"] == 2
+    assert len(document["windows"]) == 2
+
+    by_label = {o["label"]: o for o in document["objectives"]}
+    rate = by_label["service_rate>=0.9"]
+    assert rate["overall_value"] == pytest.approx(16 / 20)
+    assert rate["overall_pass"] is False
+    assert rate["windows"] == {"pass": 1, "fail": 1, "no_data": 0}
+    assert rate["worst_fast_burn"] == pytest.approx(4.0)
+
+    latency = by_label["wait_p99<=300"]
+    assert latency["overall_pass"] is True
+    assert latency["windows"]["no_data"] == 1
+    assert document["pass"] is False
+
+
+def test_engine_requires_objectives():
+    with pytest.raises(ValueError, match="at least one objective"):
+        SloEngine((), 60.0)
+    with pytest.raises(ValueError, match="burn_windows"):
+        SloEngine(parse_slo_spec("service_rate>=0.9"), 60.0, burn_windows=0)

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Diff current ``BENCH_*.json`` documents against the committed trend
+history and flag regressions.
+
+Each benchmark document names a handful of *trend series* (solver
+throughput, per-flush seconds, overlap ratio, service rates — see
+:mod:`repro.bench.trend`). This tool extracts them from the documents
+in the repo root and compares against the committed history file
+(``benchmarks/results/trend.json``), reporting any series that moved
+more than ``--threshold`` percent in its worse direction.
+
+Modes:
+
+* default — gating: exit 1 when any tracked series regressed;
+* ``--report`` — non-gating: print the same comparison, always exit 0
+  (what CI's live-smoke job runs — bench numbers from shared runners
+  are too noisy to gate on);
+* ``--update`` — rewrite the history file from the current documents
+  (run after an intentional perf change, commit the result);
+* ``--json`` — machine-readable comparison document on stdout.
+
+Run:  PYTHONPATH=src python tools/bench_trend.py [--threshold 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+
+try:
+    from repro.bench.trend import (
+        collect_bench_documents,
+        compare_series,
+        extract_series,
+    )
+except ImportError:  # repo-checkout fallback: tools/ sits next to src/
+    sys.path.insert(0, os.path.join(_REPO, "src"))
+    from repro.bench.trend import (
+        collect_bench_documents,
+        compare_series,
+        extract_series,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/bench_trend.py",
+        description="Compare current BENCH_*.json trend series against "
+        "the committed history and flag regressions.",
+    )
+    parser.add_argument(
+        "--root", default=os.path.normpath(_REPO), metavar="DIR",
+        help="directory holding the BENCH_*.json documents "
+        "(default: the repo root)",
+    )
+    parser.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="trend history file (default: "
+        "<root>/benchmarks/results/trend.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="regression threshold in percent, measured in each "
+        "series' worse direction (default 10)",
+    )
+    parser.add_argument(
+        "--report", action="store_true",
+        help="non-gating mode: print the comparison but always exit 0",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the history file from the current documents",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the comparison as one JSON document",
+    )
+    args = parser.parse_args(argv)
+    history_path = args.history or os.path.join(
+        args.root, "benchmarks", "results", "trend.json"
+    )
+
+    documents = collect_bench_documents(args.root)
+    if not documents:
+        print(f"error: no BENCH_*.json under {args.root!r}", file=sys.stderr)
+        return 2
+    current = {
+        name: extract_series(doc) for name, doc in documents.items()
+    }
+
+    if args.update:
+        os.makedirs(os.path.dirname(history_path), exist_ok=True)
+        with open(history_path, "w", encoding="utf-8") as handle:
+            json.dump({"series": current}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        total = sum(len(series) for series in current.values())
+        print(
+            f"wrote {total} series from {len(current)} documents "
+            f"to {history_path}"
+        )
+        return 0
+
+    try:
+        with open(history_path, encoding="utf-8") as handle:
+            history = json.load(handle)["series"]
+    except OSError:
+        print(
+            f"error: no trend history at {history_path!r} — seed it with "
+            "--update and commit the result",
+            file=sys.stderr,
+        )
+        return 0 if args.report else 2
+
+    comparison: dict[str, list] = {}
+    regressions = 0
+    for name, series in sorted(current.items()):
+        records = compare_series(
+            series, history.get(name, {}), args.threshold
+        )
+        comparison[name] = records
+        regressions += sum(r["regressed"] for r in records)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "threshold_pct": args.threshold,
+                    "regressions": regressions,
+                    "documents": comparison,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for name, records in comparison.items():
+            if not records:
+                print(f"{name}: no tracked series in common with history")
+                continue
+            worst = records[0]
+            print(
+                f"{name}: {len(records)} series, "
+                f"{sum(r['regressed'] for r in records)} regressed"
+            )
+            for record in records:
+                if record["regressed"] or record is worst:
+                    pct = record["regression_pct"]
+                    flag = "REGRESSED" if record["regressed"] else "worst"
+                    print(
+                        f"  [{flag}] {record['series']} "
+                        f"({record['direction']}-is-better): "
+                        f"{record['baseline']:.6g} -> "
+                        f"{record['current']:.6g} "
+                        f"({pct:+.1f}% worse)"
+                        if pct is not None
+                        else f"  [{flag}] {record['series']}: zero baseline"
+                    )
+        verdict = (
+            f"{regressions} regression(s) beyond {args.threshold:g}%"
+            if regressions
+            else f"no regressions beyond {args.threshold:g}%"
+        )
+        print(verdict)
+    if regressions and not args.report:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,10 @@ computes:
 * the top-N slowest ``flush`` spans, each decomposed into its direct
   children (quote.collect / solve / commit / cleanup).
 
+``--json`` emits the same two views as one machine-readable document
+instead of text tables. A missing, unreadable, malformed or empty
+trace exits non-zero with a one-line message on stderr.
+
 Run:  PYTHONPATH=src python tools/trace_report.py trace.jsonl [--top 5]
 
 The script also works without PYTHONPATH from a repo checkout — it
@@ -19,6 +23,7 @@ falls back to the sibling ``src/`` layout.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -54,15 +59,61 @@ def main(argv: list[str] | None = None) -> int:
         "--top", type=int, default=5, metavar="N",
         help="how many slowest flushes to drill into (default 5)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the breakdown and drilldown as one JSON document",
+    )
     args = parser.parse_args(argv)
-    events = read_chrome_trace(args.trace)
+    try:
+        events = read_chrome_trace(args.trace)
+    except OSError as error:
+        print(
+            f"error: cannot read trace {args.trace!r}: {error.strerror}",
+            file=sys.stderr,
+        )
+        return 2
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        print(
+            f"error: {args.trace!r} is not a Chrome trace "
+            f"(JSONL or JSON array): {error}",
+            file=sys.stderr,
+        )
+        return 2
     if not events:
-        print(f"no events in {args.trace}")
+        print(
+            f"error: no trace events in {args.trace!r} — was the run "
+            "traced? (python -m repro.sim --trace-out PATH)",
+            file=sys.stderr,
+        )
         return 1
+    if not all(isinstance(e, dict) and "name" in e for e in events):
+        print(
+            f"error: {args.trace!r} parses as JSON but its rows are not "
+            "trace events (no 'name' field) — a --timeseries-out file? "
+            "This tool reads --trace-out files.",
+            file=sys.stderr,
+        )
+        return 1
+    stages = stage_breakdown(events)
+    slowest = slowest_flushes(events, top=args.top)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "trace": args.trace,
+                    "events": len(events),
+                    "stages": stages,
+                    "slowest_flushes": slowest,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(f"{len(events)} events from {args.trace}\n")
-    print(render_stage_table(stage_breakdown(events)))
+    print(render_stage_table(stages))
     print(f"\nslowest flushes (top {args.top}):")
-    print(render_slowest(slowest_flushes(events, top=args.top)))
+    print(render_slowest(slowest))
     return 0
 
 
