@@ -104,11 +104,11 @@ def build_flush(
     return matrix, grid, coords
 
 
-def _time_sharded(keys, plan, backend: str, repeats: int):
+def _time_sharded(keys, plan, backend: str, repeats: int, **executor_kwargs):
     """Best-of-``repeats`` sharded solve; returns (seconds, outcome)."""
     best = float("inf")
     outcome = None
-    with ShardExecutor(backend) as executor:
+    with ShardExecutor(backend, **executor_kwargs) as executor:
         if backend != "serial":
             # Pool spin-up is amortized across a simulation's thousands
             # of flushes; warm it before timing one.
@@ -120,11 +120,26 @@ def _time_sharded(keys, plan, backend: str, repeats: int):
     return best, outcome
 
 
+#: The zero-copy vs pickle A/B grid on the process backend
+#: (:mod:`repro.dispatch.sharding.shm`): the plain ``process`` rows are
+#: the pickle baseline; these modes layer the shared-memory arena, the
+#: persistent worker group, and both together. Gated by
+#: ``benchmarks/test_shard_scaling.py``.
+ZERO_COPY_MODES = {
+    "process+zero_copy": {"zero_copy": True},
+    "process+persistent": {"persistent_workers": True},
+    "process+zero_copy+persistent": {
+        "zero_copy": True,
+        "persistent_workers": True,
+    },
+}
+
+
 def run_shard_bench(
     out_path: str | None = DEFAULT_OUT,
     shard_counts=(1, 2, 4, 8),
     backends=("serial", "thread", "process"),
-    repeats: int = 3,
+    repeats: int = 5,
     **flush_kwargs,
 ) -> dict:
     """Benchmark the sharded solve across shard counts and backends;
@@ -139,16 +154,17 @@ def run_shard_bench(
 
     runs: dict[str, dict[str, dict]] = {}
     serial_baseline = None
-    for backend in backends:
-        runs[backend] = {}
+
+    def measure(label: str, backend: str, **executor_kwargs):
+        runs[label] = {}
         for count in shard_counts:
             plan = ShardPartitioner(count).plan(
                 matrix, grid_index=grid, coords=coords
             )
-            seconds, outcome = _time_sharded(keys, plan, backend, repeats)
-            if backend == "serial" and count == 1:
-                serial_baseline = seconds
-            runs[backend][str(count)] = {
+            seconds, outcome = _time_sharded(
+                keys, plan, backend, repeats, **executor_kwargs
+            )
+            runs[label][str(count)] = {
                 "per_flush_seconds": seconds,
                 "num_shards_solved": outcome.num_shards,
                 "shard_sizes": outcome.shard_sizes,
@@ -156,14 +172,28 @@ def run_shard_bench(
                 "pairs_matched": len(outcome.pairs),
                 "matches_global": outcome.pairs == global_pairs,
             }
-    if serial_baseline:
-        for backend in runs:
-            for cell in runs[backend].values():
+
+    for backend in backends:
+        measure(backend, backend)
+        if backend == "serial":
+            serial_baseline = runs["serial"][str(shard_counts[0])][
+                "per_flush_seconds"
+            ] if shard_counts[0] == 1 else None
+    if "process" in backends:
+        # Zero-copy vs pickle A/B: same flush, same plans, same process
+        # backend — only the matrix transport and worker lifetime vary.
+        for label, executor_kwargs in ZERO_COPY_MODES.items():
+            measure(label, "process", **executor_kwargs)
+    for cells in runs.values():
+        for cell in cells.values():
+            seconds = cell["per_flush_seconds"]
+            if serial_baseline:
                 cell["speedup_vs_serial_1"] = (
-                    serial_baseline / cell["per_flush_seconds"]
-                    if cell["per_flush_seconds"]
-                    else 0.0
+                    serial_baseline / seconds if seconds else 0.0
                 )
+            cell["speedup_vs_global"] = (
+                global_seconds / seconds if seconds else 0.0
+            )
 
     # The effective flush parameters, derived from build_flush's own
     # signature so the recorded workload can never drift from the one

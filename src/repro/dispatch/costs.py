@@ -187,7 +187,12 @@ def assemble_matrix(
     request x vehicle :class:`CostMatrix` the assignment policies solve
     over, snapping keys to the :data:`KEY_EPSILON` grid."""
     m, n = plan.shape
-    keys = np.full((m, n), np.inf)
+    # Explicitly C-contiguous float64: the zero-copy shard fan-out
+    # (repro.dispatch.sharding.shm) publishes row-sliced views of this
+    # matrix straight into a shared-memory arena, so the key layout must
+    # stay arena-allocatable — a dtype or order change here would force
+    # a copy back into every flush.
+    keys = np.full((m, n), np.inf, dtype=np.float64, order="C")
     quotes: list[list[Quote | None]] = [[None] * n for _ in range(m)]
     timings: list[list[tuple[int, float] | None]] = [
         [None] * n for _ in range(m)

@@ -1,0 +1,647 @@
+"""Zero-copy shard fan-out: shared-memory matrices + persistent workers.
+
+The process shard backend's bottleneck is serialization: every flush
+re-pickles each shard's key submatrix into the executor's call pipe and
+pickles the result back. This module removes both copies:
+
+* :class:`SharedMatrixArena` places one flush's shard blocks side by
+  side in a ``multiprocessing.shared_memory`` segment and hands out
+  :class:`ArenaTicket` descriptors — a few plain ints and a segment
+  name — instead of the matrices themselves. Workers map the segment
+  once and solve directly on a numpy *view* of the shared pages. The
+  arena is double-buffered (two segment slots alternate flush by
+  flush), so a straggler worker from flush *N* can still read its block
+  while flush *N+1* publishes, and every publish is generation-stamped
+  so a genuinely stale ticket is detected (typed
+  :class:`~repro.exceptions.ArenaAttachError`) rather than silently
+  solving yesterday's matrix.
+* :class:`PersistentWorkerGroup` keeps worker processes alive across
+  flushes behind the same ``submit() -> Future`` surface as
+  ``concurrent.futures`` pools, with a small task protocol (attach /
+  call / batch / detach / shutdown) over a pair of queues; a flush's
+  shard solves travel as one batch message per worker. Per-worker arena
+  attachments are cached module-side, so after the first flush a worker
+  re-enters the solve without a single ``mmap`` or pickle of matrix
+  data (counted as ``worker.reuse``).
+
+Lifecycle is the hard part of shared memory, so it is explicit here:
+segment names carry a ``repro_shm_<pid>_`` prefix, every live segment
+is tracked in a module registry (:func:`active_segment_names`,
+:func:`leaked_segment_files`), ``close()`` both closes *and* unlinks
+(idempotently — safe after breakage, from ``__del__`` and from an
+``atexit`` sweep that backstops KeyboardInterrupt-style teardown), and
+worker attachments ride the parent's fork-shared ``resource_tracker``
+registration (see :func:`attach_segment` for why a dying worker can
+never unlink a segment the parent still owns).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import queue
+import threading
+import weakref
+from concurrent.futures import BrokenExecutor, Future
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+from repro.exceptions import ArenaAttachError, FaultInjectedError
+from repro.obs.trace import clock
+
+#: Every arena segment name starts with this (plus the creating
+#: process's pid), which is what lets leak checks — the
+#: ``assert_no_leaked_segments`` fixture, the CI ``shm-smoke`` post-step
+#: — scan ``/dev/shm`` for repo-owned segments without false positives.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: First header word of every published segment; an attach that does not
+#: find it is mapping something that was never an arena segment.
+_MAGIC = 0x5245_5052_4F53_484D  # "REPROSHM"
+
+#: Segment layout: ``[magic, generation]`` int64 header, then the
+#: flush's float64 blocks back to back (8-byte aligned by construction).
+_HEADER_BYTES = 16
+
+_SEQ = itertools.count()
+
+# Parent-side truth of which segments this process currently owns.
+_ACTIVE_LOCK = threading.Lock()
+_ACTIVE_SEGMENTS: set[str] = set()
+
+# All live arenas, for the atexit backstop sweep (a KeyboardInterrupt
+# that unwinds past every ``finally`` still must not orphan /dev/shm).
+_ARENAS: "weakref.WeakSet[SharedMatrixArena]" = weakref.WeakSet()
+
+
+def active_segment_names() -> tuple[str, ...]:
+    """Names of the shared-memory segments this process currently owns
+    (sorted). Empty once every arena is closed — the leak invariant the
+    test suite's ``assert_no_leaked_segments`` fixture pins."""
+    with _ACTIVE_LOCK:
+        return tuple(sorted(_ACTIVE_SEGMENTS))
+
+
+def leaked_segment_files(prefix: str = SEGMENT_PREFIX) -> tuple[str, ...]:
+    """Repo-prefixed segment files visible in ``/dev/shm`` (sorted).
+
+    On platforms without a ``/dev/shm`` listing this returns the
+    parent-side registry instead, so callers get the strictest check
+    the platform supports.
+    """
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return tuple(n for n in active_segment_names() if n.startswith(prefix))
+    return tuple(sorted(n for n in names if n.startswith(prefix)))
+
+
+def _track(name: str) -> None:
+    with _ACTIVE_LOCK:
+        _ACTIVE_SEGMENTS.add(name)
+
+
+def _untrack(name: str) -> None:
+    with _ACTIVE_LOCK:
+        _ACTIVE_SEGMENTS.discard(name)
+
+
+def _release_segment(segment: shared_memory.SharedMemory) -> None:
+    """Close *and* unlink one owned segment, tolerating every repeat /
+    already-gone / buffer-pinned state teardown paths can reach."""
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover - an exported view is alive
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    _untrack(segment.name)
+
+
+@dataclass(frozen=True, slots=True)
+class ArenaTicket:
+    """One shard block's address inside a published arena segment.
+
+    Primitives only, so it rides the task pipe for the price of a few
+    ints where the matrix itself used to be pickled.
+    """
+
+    segment: str
+    generation: int
+    index: int
+    offset: int
+    rows: int
+    cols: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.cols * 8
+
+
+class SharedMatrixArena:
+    """Double-buffered shared-memory home for one flush's shard blocks.
+
+    :meth:`publish` copies the flush's key submatrices into the current
+    slot's segment (creating or growing it as needed), stamps the
+    segment with a fresh generation, and returns one
+    :class:`ArenaTicket` per block. Slots alternate per publish: a
+    ticket stays readable for exactly one further flush — long enough
+    for any straggling retry of the flush that minted it — and a reuse
+    beyond that fails the generation check with a typed
+    :class:`~repro.exceptions.ArenaAttachError` instead of reading
+    overwritten bytes.
+
+    ``close()`` is idempotent and unlinks both slots; it also runs from
+    ``__del__``, context-manager exit, and the module's ``atexit``
+    sweep, so normal teardown, crashes and interrupt-style unwinds all
+    release the segments.
+    """
+
+    def __init__(self, slots: int = 2):
+        if slots < 2:
+            raise ValueError("arena needs >= 2 slots to double-buffer")
+        self._segments: list[shared_memory.SharedMemory | None] = (
+            [None] * slots
+        )
+        self._turn = 0
+        self._generation = 0
+        #: Payload bytes shared by the most recent :meth:`publish` (the
+        #: ``shm.bytes_shared`` telemetry sample).
+        self.last_bytes = 0
+        _ARENAS.add(self)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(
+            seg.name for seg in self._segments if seg is not None
+        )
+
+    def publish(self, blocks: list[np.ndarray]) -> list[ArenaTicket]:
+        """Copy ``blocks`` into the next slot; returns their tickets."""
+        self._generation += 1
+        generation = self._generation
+        blocks = [
+            np.ascontiguousarray(block, dtype=np.float64)
+            for block in blocks
+        ]
+        payload = sum(block.nbytes for block in blocks)
+        needed = _HEADER_BYTES + payload
+        slot = self._turn
+        self._turn = (self._turn + 1) % len(self._segments)
+        segment = self._segments[slot]
+        if segment is None or segment.size < needed:
+            if segment is not None:
+                _release_segment(segment)
+            name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(_SEQ)}"
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(needed, _HEADER_BYTES + 8)
+            )
+            _track(segment.name)
+            self._segments[slot] = segment
+        header = np.ndarray((2,), dtype=np.int64, buffer=segment.buf)
+        header[0] = _MAGIC
+        header[1] = generation
+        del header
+        tickets: list[ArenaTicket] = []
+        offset = _HEADER_BYTES
+        for index, block in enumerate(blocks):
+            rows, cols = block.shape
+            if block.nbytes:
+                view = np.ndarray(
+                    (rows, cols),
+                    dtype=np.float64,
+                    buffer=segment.buf,
+                    offset=offset,
+                )
+                view[...] = block
+                del view
+            tickets.append(
+                ArenaTicket(
+                    segment=segment.name,
+                    generation=generation,
+                    index=index,
+                    offset=offset,
+                    rows=rows,
+                    cols=cols,
+                )
+            )
+            offset += block.nbytes
+        self.last_bytes = payload
+        return tickets
+
+    def close(self) -> None:
+        """Close and unlink every slot (idempotent; safe mid-breakage,
+        from ``__del__`` and at interpreter exit)."""
+        segments, self._segments = (
+            self._segments,
+            [None] * len(self._segments),
+        )
+        for segment in segments:
+            if segment is not None:
+                _release_segment(segment)
+
+    def __enter__(self) -> "SharedMatrixArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC/interpreter-exit path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+@atexit.register
+def _close_arenas_at_exit() -> None:  # pragma: no cover - exit path
+    for arena in list(_ARENAS):
+        try:
+            arena.close()
+        except Exception:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Worker side: attach cache + ticket views
+# ----------------------------------------------------------------------
+
+#: Per-process attachment cache: segment name -> mapped handle. In a
+#: worker this is what makes flush 2..N zero-copy *and* zero-mmap; in
+#: the parent it only serves tests that read a published block back.
+_ATTACHMENTS: dict[str, shared_memory.SharedMemory] = {}
+
+#: Attachments kept mapped at once; the arena cycles two slots (plus
+#: the occasional regrown segment), so a tiny cache is already a hit
+#: on every steady-state flush.
+_ATTACH_CACHE_LIMIT = 8
+
+
+def attach_segment(name: str) -> tuple[shared_memory.SharedMemory, bool, float]:
+    """Map ``name`` (cached); returns ``(handle, reused, attach_seconds)``.
+
+    A missing segment — never published, or already unlinked by the
+    owner — raises :class:`~repro.exceptions.ArenaAttachError`.
+
+    On CPython < 3.13 attaching registers the segment with the
+    ``resource_tracker`` as if this process owned it (bpo-39959). That
+    is deliberately left alone here: multiprocessing children share the
+    parent's tracker, where registration is name-deduplicated — so the
+    worker's extra register is a no-op and the owner's ``unlink()``
+    still unregisters cleanly, whereas a worker-side ``unregister``
+    would clobber the parent's own registration.
+    """
+    started = clock()
+    handle = _ATTACHMENTS.get(name)
+    if handle is not None:
+        return handle, True, clock() - started
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as error:
+        raise ArenaAttachError(
+            f"arena segment {name!r} is not attachable: unlinked by its "
+            "owner or never published"
+        ) from error
+    while len(_ATTACHMENTS) >= _ATTACH_CACHE_LIMIT:
+        _, stale = _ATTACHMENTS.popitem()
+        try:
+            stale.close()
+        except BufferError:  # pragma: no cover - view still alive
+            pass
+    _ATTACHMENTS[name] = handle
+    return handle, False, clock() - started
+
+
+def detach_segments() -> None:
+    """Drop and close every cached attachment (worker teardown)."""
+    while _ATTACHMENTS:
+        _, handle = _ATTACHMENTS.popitem()
+        try:
+            handle.close()
+        except BufferError:  # pragma: no cover - view still alive
+            pass
+
+
+def ticket_view(
+    handle: shared_memory.SharedMemory, ticket: ArenaTicket
+) -> np.ndarray:
+    """The ticket's block as a zero-copy view of the mapped segment.
+
+    Validates the segment header before exposing any bytes: wrong magic
+    (not an arena segment), a stale generation (the slot was republished
+    since the ticket was minted) and an out-of-range block all raise
+    :class:`~repro.exceptions.ArenaAttachError` — the executor turns
+    that into a parent-side serial rescue, never a wrong answer.
+    """
+    if handle.size < _HEADER_BYTES:
+        raise ArenaAttachError(
+            f"segment {ticket.segment!r} is too small to carry an arena "
+            "header"
+        )
+    header = np.ndarray((2,), dtype=np.int64, buffer=handle.buf)
+    magic, generation = int(header[0]), int(header[1])
+    del header
+    if magic != _MAGIC:
+        raise ArenaAttachError(
+            f"segment {ticket.segment!r} carries no arena header "
+            "(not published by a SharedMatrixArena)"
+        )
+    if generation != ticket.generation:
+        raise ArenaAttachError(
+            f"stale arena ticket for segment {ticket.segment!r}: ticket "
+            f"generation {ticket.generation}, segment generation "
+            f"{generation}"
+        )
+    if ticket.offset + ticket.nbytes > handle.size:
+        raise ArenaAttachError(
+            f"arena ticket block [{ticket.offset}, "
+            f"{ticket.offset + ticket.nbytes}) overruns segment "
+            f"{ticket.segment!r} ({handle.size} bytes)"
+        )
+    return np.ndarray(
+        (ticket.rows, ticket.cols),
+        dtype=np.float64,
+        buffer=handle.buf,
+        offset=ticket.offset,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistent workers
+# ----------------------------------------------------------------------
+
+
+def _describe_error(error: BaseException) -> tuple[str, object]:
+    """Collapse a worker-side exception to a picklable ``(kind,
+    payload)`` pair — typed exceptions with required constructor args do
+    not round-trip pickle, and a worker must never die on a reply."""
+    if isinstance(error, ArenaAttachError):
+        return "attach", str(error)
+    if isinstance(error, FaultInjectedError):
+        return "fault", (error.site, error.seq)
+    return "error", f"{type(error).__name__}: {error}"
+
+
+def _rebuild_error(kind: str, payload) -> BaseException:
+    if kind == "attach":
+        return ArenaAttachError(payload)
+    if kind == "fault":
+        site, seq = payload
+        return FaultInjectedError(site, int(seq))
+    return RuntimeError(f"persistent worker task failed: {payload}")
+
+
+def _worker_main(tasks, results) -> None:
+    """One persistent worker's loop over the task protocol (attach /
+    call / batch / detach / shutdown)."""
+    while True:
+        try:
+            message = tasks.get()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        op = message[0]
+        if op == "shutdown":
+            break
+        if op == "detach":
+            detach_segments()
+            continue
+        if op == "attach":
+            # Pre-warm: map the named segment so the flush's first solve
+            # task already reuses it. Failures are deliberate no-ops —
+            # the solve task re-attaches and reports properly.
+            try:
+                attach_segment(message[1])
+            except Exception:
+                pass
+            continue
+        if op == "batch":
+            # One flush's worth of calls in a single message; replies
+            # travel back as one message too, so a k-shard flush costs
+            # one queue round trip per worker instead of 2k.
+            replies = []
+            for task_id, fn, args, kwargs in message[1]:
+                try:
+                    replies.append((task_id, "ok", fn(*args, **kwargs)))
+                except BaseException as error:  # noqa: BLE001 - shipped
+                    replies.append((task_id, "err", _describe_error(error)))
+            try:
+                results.put(("batch", replies))
+            except (EOFError, OSError):  # pragma: no cover - parent gone
+                break
+            continue
+        _op, task_id, fn, args, kwargs = message
+        try:
+            reply = (task_id, "ok", fn(*args, **kwargs))
+        except BaseException as error:  # noqa: BLE001 - shipped to parent
+            reply = (task_id, "err", _describe_error(error))
+        try:
+            results.put(reply)
+        except (EOFError, OSError):  # pragma: no cover - parent gone
+            break
+    detach_segments()
+
+
+class PersistentWorkerGroup:
+    """Long-lived worker processes behind a futures-compatible surface.
+
+    Drop-in for the executor slot of :class:`~repro.dispatch.sharding.
+    executor.WorkerPool`: ``submit(fn, *args) -> Future`` plus an
+    idempotent ``shutdown(wait=...)``. Unlike a per-flush
+    ``ProcessPoolExecutor`` submission, the workers — and their cached
+    arena attachments — survive across flushes, so steady state ships a
+    ticket-sized message per shard instead of a pickled matrix.
+
+    A collector thread drains the result queue and resolves futures by
+    task id. If any worker process dies while work is pending, every
+    pending future fails with :class:`concurrent.futures.BrokenExecutor`
+    and the group marks itself broken — exactly the contract hardened
+    callers already handle by recreating the pool and retrying.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        workers = max_workers if max_workers else (os.cpu_count() or 1)
+        context = get_context()
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self._futures: dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._broken = False
+        self._closed = False
+        self._procs = [
+            context.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results),
+                daemon=True,
+                name=f"repro-shard-worker-{i}",
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True, name="repro-shard-collector"
+        )
+        self._collector.start()
+
+    @property
+    def num_workers(self) -> int:
+        return len(self._procs)
+
+    def alive_workers(self) -> int:
+        return sum(1 for proc in self._procs if proc.is_alive())
+
+    def submit(self, fn, /, *args, **kwargs) -> Future:
+        """Queue ``fn(*args, **kwargs)`` on any live worker. Raises
+        :class:`~concurrent.futures.BrokenExecutor` once the group is
+        closed or broken (callers recreate and retry)."""
+        with self._lock:
+            if self._closed or self._broken:
+                raise BrokenExecutor(
+                    "persistent worker group is closed or broken"
+                )
+            task_id = next(self._seq)
+            future: Future = Future()
+            self._futures[task_id] = future
+        self._tasks.put(("call", task_id, fn, args, kwargs))
+        return future
+
+    def submit_many(self, calls) -> list[Future]:
+        """Queue ``calls`` (``(fn, args, kwargs)`` tuples) as one batch
+        message per worker-sized chunk; returns one future per call in
+        order.
+
+        Functionally identical to ``submit`` in a loop — same task ids,
+        same error mapping, same broken-group behavior — but a flush of
+        ``k`` shard solves crosses the queues in ``min(k, workers)``
+        messages each way instead of ``k``, which is most of the
+        remaining per-flush IPC cost once the matrices themselves ride
+        the shared-memory arena.
+        """
+        if not calls:
+            return []
+        with self._lock:
+            if self._closed or self._broken:
+                raise BrokenExecutor(
+                    "persistent worker group is closed or broken"
+                )
+            entries = []
+            futures: list[Future] = []
+            for fn, args, kwargs in calls:
+                task_id = next(self._seq)
+                future: Future = Future()
+                self._futures[task_id] = future
+                entries.append((task_id, fn, args, kwargs))
+                futures.append(future)
+        shares = min(len(self._procs), len(entries)) or 1
+        base, extra = divmod(len(entries), shares)
+        start = 0
+        for share in range(shares):
+            size = base + (1 if share < extra else 0)
+            self._tasks.put(("batch", entries[start : start + size]))
+            start += size
+        return futures
+
+    def broadcast(self, op: str, *payload) -> None:
+        """Best-effort protocol broadcast (``attach`` / ``detach``): one
+        message per worker on the shared queue. The queue does not pin
+        messages to workers, so this is a warm-path hint, never a
+        correctness dependency."""
+        if op not in ("attach", "detach"):
+            raise ValueError(f"cannot broadcast {op!r}")
+        for _ in self._procs:
+            self._tasks.put((op, *payload))
+
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            try:
+                message = self._results.get(timeout=0.1)
+            except (queue.Empty, OSError, EOFError):
+                message = None
+                with self._lock:
+                    closed = self._closed
+                    pending = bool(self._futures)
+                if pending and not any(
+                    proc.is_alive() for proc in self._procs
+                ):
+                    self._mark_broken(
+                        BrokenExecutor("persistent worker process died")
+                    )
+                    continue
+                if closed and not pending:
+                    return
+                continue
+            if message is None:  # shutdown sentinel
+                return
+            replies = message[1] if message[0] == "batch" else (message,)
+            for task_id, status, payload in replies:
+                with self._lock:
+                    future = self._futures.pop(task_id, None)
+                if future is None:
+                    continue
+                if status == "ok":
+                    future.set_result(payload)
+                else:
+                    future.set_exception(_rebuild_error(*payload))
+
+    def _mark_broken(self, error: BaseException) -> None:
+        with self._lock:
+            self._broken = True
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers and the collector (idempotent; pending
+        futures fail with ``BrokenExecutor`` rather than hanging)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._procs:
+            try:
+                self._tasks.put(("shutdown",))
+            except (OSError, ValueError):  # pragma: no cover - queue gone
+                break
+        if wait:
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._mark_broken(
+            BrokenExecutor("persistent worker group shut down")
+        )
+        try:
+            self._results.put(None)
+        except (OSError, ValueError):  # pragma: no cover - queue gone
+            pass
+        self._collector.join(timeout=5.0)
+        for q in (self._tasks, self._results):
+            q.close()
+            q.cancel_join_thread()
+
+    def __enter__(self) -> "PersistentWorkerGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown(wait=True)
+
+    def __del__(self):  # pragma: no cover - GC/interpreter-exit path
+        try:
+            self.shutdown(wait=False)
+        except Exception:
+            pass

@@ -56,6 +56,17 @@ class SimulationConfig:
         identical across backends); ``shard_boundary_cells`` is the
         optional candidate-halo width in grid cells (``None`` keeps
         every feasible candidate per shard).
+    shard_zero_copy / shard_persistent_workers:
+        Zero-copy process fan-out (:mod:`repro.dispatch.sharding.shm`).
+        ``shard_zero_copy=True`` publishes each flush's shard matrices
+        into a double-buffered shared-memory arena so process workers
+        solve views instead of pickled copies;
+        ``shard_persistent_workers=True`` keeps the worker processes
+        (and their cached arena attachments) alive across flushes
+        behind the small attach/solve/detach/shutdown task protocol.
+        Both default off and both are inert on the serial/thread
+        backends; assignments are bit-identical with either flag set
+        (determinism contract 11).
     adaptive_window / window_min_s / window_max_s:
         Batch-window autotuning (:mod:`repro.dispatch.adaptive`). With
         ``adaptive_window=True`` the window length is retuned at every
@@ -189,6 +200,8 @@ class SimulationConfig:
     num_shards: int = 1
     shard_backend: str = "serial"
     shard_boundary_cells: int | None = None
+    shard_zero_copy: bool = False
+    shard_persistent_workers: bool = False
     quote_workers: int = 0
     quote_backend: str = "thread"
     quote_overlap_s: float = 0.0

@@ -149,6 +149,8 @@ class Simulation:
                 num_shards=config.num_shards,
                 shard_backend=config.shard_backend,
                 shard_boundary_cells=config.shard_boundary_cells,
+                shard_zero_copy=config.shard_zero_copy,
+                shard_persistent_workers=config.shard_persistent_workers,
                 injector=self.fault_injector,
                 retry=self.retry_policy,
             ),
@@ -288,6 +290,12 @@ class Simulation:
                 "path": self.config.timeseries_out,
             }
         self.quote_service.close()
+        # The sharded policy owns worker processes and (zero-copy)
+        # shared-memory segments; release both at the end of the run —
+        # GC-time __del__ teardown stays as the backstop, not the plan.
+        policy_close = getattr(self.batch_dispatcher.policy, "close", None)
+        if policy_close is not None:
+            policy_close()
         self.report.wall_seconds = clock() - started
         self.report.extra["engine_stats"] = getattr(
             self.engine, "stats", lambda: {}

@@ -1,0 +1,317 @@
+"""Shared-memory arena lifecycle: publish, attach, stale, leak, crash.
+
+Lifecycle is the hard part of shared memory, so every path that can
+create or release a segment is pinned here: publish round-trips,
+double-buffer staleness, idempotent teardown from ``close()`` /
+``__del__`` / context exit / ``atexit``, segment regrowth, the worker
+attach cache, pool death, and the stale-ticket → ``TaskFailure`` →
+serial-rescue ladder. The suite-wide ``assert_no_leaked_segments``
+fixture (``tests/conftest.py``) additionally checks every single test
+for /dev/shm residue.
+"""
+
+import gc
+import os
+import subprocess
+import sys
+from concurrent.futures import BrokenExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.dispatch.sharding import ShardExecutor, solve_sharded
+from repro.dispatch.sharding.executor import WorkerPool, _solve_shard_task_shm
+from repro.dispatch.sharding.partitioner import Shard, ShardPlan
+from repro.dispatch.sharding.shm import (
+    ArenaTicket,
+    PersistentWorkerGroup,
+    SharedMatrixArena,
+    active_segment_names,
+    attach_segment,
+    detach_segments,
+    leaked_segment_files,
+    ticket_view,
+)
+from repro.exceptions import ArenaAttachError
+from repro.faults import FaultInjector, TaskFailure, parse_fault_spec
+
+SRC = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, os.pardir, "src"
+)
+
+
+def _blocks(*shapes, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.random(shape) for shape in shapes]
+
+
+@pytest.fixture
+def clean_attach_cache():
+    """Parent-side attach cache must not hold segments past a test."""
+    yield
+    detach_segments()
+
+
+# ----------------------------------------------------------------------
+# Publish / attach round trips
+# ----------------------------------------------------------------------
+def test_publish_round_trip(clean_attach_cache):
+    blocks = _blocks((5, 7), (3, 2))
+    with SharedMatrixArena() as arena:
+        tickets = arena.publish(blocks)
+        assert [t.index for t in tickets] == [0, 1]
+        assert arena.last_bytes == sum(b.nbytes for b in blocks)
+        for ticket, block in zip(tickets, blocks):
+            handle, _reused, _secs = attach_segment(ticket.segment)
+            view = ticket_view(handle, ticket)
+            np.testing.assert_array_equal(view, block)
+            del view
+
+
+def test_attach_cache_reuses_the_mapping(clean_attach_cache):
+    with SharedMatrixArena() as arena:
+        (ticket,) = arena.publish(_blocks((4, 4)))
+        _handle, reused_first, _ = attach_segment(ticket.segment)
+        handle, reused_second, _ = attach_segment(ticket.segment)
+        assert (reused_first, reused_second) == (False, True)
+        detach_segments()
+        _handle, reused_after_detach, _ = attach_segment(ticket.segment)
+        assert reused_after_detach is False
+        del handle
+
+
+def test_double_buffering_keeps_previous_flush_readable(clean_attach_cache):
+    """A ticket survives exactly one further publish (the straggler
+    window), then its slot is republished and the generation check
+    refuses it."""
+    with SharedMatrixArena() as arena:
+        (gen1,) = arena.publish(_blocks((4, 4), seed=1))
+        (gen2,) = arena.publish(_blocks((4, 4), seed=2))
+        # gen1 lives in the other slot: still attachable after gen2.
+        handle, _, _ = attach_segment(gen1.segment)
+        assert ticket_view(handle, gen1).shape == (4, 4)
+        # Third publish reclaims gen1's slot.
+        arena.publish(_blocks((4, 4), seed=3))
+        handle, _, _ = attach_segment(gen1.segment)
+        with pytest.raises(ArenaAttachError, match="stale arena ticket"):
+            ticket_view(handle, gen1)
+        # gen2 is the previous flush now — still fine.
+        handle, _, _ = attach_segment(gen2.segment)
+        assert ticket_view(handle, gen2).shape == (4, 4)
+
+
+def test_missing_segment_raises_attach_error():
+    with pytest.raises(ArenaAttachError, match="not attachable"):
+        attach_segment("repro_shm_never_published")
+
+
+def test_foreign_segment_fails_the_magic_check(clean_attach_cache):
+    """A shared-memory segment that was never an arena publish must be
+    rejected by header magic, not read as matrix bytes."""
+    segment = shared_memory.SharedMemory(create=True, size=256)
+    try:
+        ticket = ArenaTicket(
+            segment=segment.name, generation=1, index=0,
+            offset=16, rows=2, cols=2,
+        )
+        handle, _, _ = attach_segment(segment.name)
+        with pytest.raises(ArenaAttachError, match="no arena header"):
+            ticket_view(handle, ticket)
+        detach_segments()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def test_block_overrunning_segment_is_rejected(clean_attach_cache):
+    with SharedMatrixArena() as arena:
+        (ticket,) = arena.publish(_blocks((2, 2)))
+        oversized = ArenaTicket(
+            segment=ticket.segment, generation=ticket.generation,
+            index=0, offset=ticket.offset, rows=10_000, cols=10_000,
+        )
+        handle, _, _ = attach_segment(ticket.segment)
+        with pytest.raises(ArenaAttachError, match="overruns"):
+            ticket_view(handle, oversized)
+
+
+# ----------------------------------------------------------------------
+# Teardown paths
+# ----------------------------------------------------------------------
+def test_close_is_idempotent_and_releases_segments():
+    arena = SharedMatrixArena()
+    arena.publish(_blocks((8, 8)))
+    names = arena.segment_names()
+    assert names and all(n in active_segment_names() for n in names)
+    arena.close()
+    arena.close()
+    assert not arena.segment_names()
+    assert all(n not in active_segment_names() for n in names)
+    assert all(n not in leaked_segment_files() for n in names)
+
+
+def test_del_releases_segments():
+    arena = SharedMatrixArena()
+    arena.publish(_blocks((8, 8)))
+    names = arena.segment_names()
+    del arena
+    gc.collect()
+    assert all(n not in active_segment_names() for n in names)
+    assert all(n not in leaked_segment_files() for n in names)
+
+
+def test_segment_growth_releases_the_small_segment():
+    """Regrowing a slot for a bigger flush must unlink the old segment
+    at the moment of replacement — an arena never owns more than one
+    segment per slot."""
+    with SharedMatrixArena() as arena:
+        arena.publish(_blocks((2, 2)))   # slot 0, tiny
+        arena.publish(_blocks((2, 2)))   # slot 1, tiny
+        small = set(arena.segment_names())
+        arena.publish(_blocks((64, 64)))  # slot 0 regrows
+        arena.publish(_blocks((64, 64)))  # slot 1 regrows
+        assert len(arena.segment_names()) == 2
+        assert not (small & set(arena.segment_names()))
+        assert all(n not in active_segment_names() for n in small)
+
+
+def test_atexit_sweep_backstops_an_unclosed_arena():
+    """An arena never closed before interpreter exit must still leave
+    /dev/shm clean (the module's atexit sweep)."""
+    code = (
+        "import numpy as np\n"
+        "from repro.dispatch.sharding.shm import SharedMatrixArena\n"
+        "arena = SharedMatrixArena()\n"
+        "tickets = arena.publish([np.zeros((16, 16))])\n"
+        "print(tickets[0].segment)\n"
+        # Deliberately no close(): atexit must sweep it.
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, timeout=60,
+        env={**os.environ, "PYTHONPATH": SRC},
+    )
+    assert proc.returncode == 0, proc.stderr
+    name = proc.stdout.strip()
+    assert name.startswith("repro_shm_")
+    assert name not in leaked_segment_files()
+
+
+# ----------------------------------------------------------------------
+# Persistent worker group lifecycle
+# ----------------------------------------------------------------------
+def test_group_shutdown_is_idempotent_and_fails_pending():
+    group = PersistentWorkerGroup(max_workers=1)
+    assert group.submit(int, 5).result(timeout=30) == 5
+    group.shutdown()
+    group.shutdown()
+    with pytest.raises(BrokenExecutor):
+        group.submit(int, 1)
+    with pytest.raises(BrokenExecutor):
+        group.submit_many([(int, (1,), {})])
+
+
+def test_worker_pool_close_and_del_with_persistent_group():
+    pool = WorkerPool("process", max_workers=1, persistent_workers=True)
+    assert pool.submit(int, 7).result(timeout=30) == 7
+    pool.close()
+    pool.close()
+    assert pool._pool is None
+    # A fresh submission after close lazily builds a new group.
+    assert pool.submit(int, 8).result(timeout=30) == 8
+    pool.__del__()
+    assert pool._pool is None
+
+
+def test_executor_close_releases_the_arena():
+    keys = np.random.default_rng(0).random((8, 6))
+    plan = ShardPlan(
+        shards=[Shard(0, tuple(range(8)), tuple(range(6)))],
+        num_shards_requested=1,
+    )
+    executor = ShardExecutor(
+        "process", max_workers=1, zero_copy=True, persistent_workers=True
+    )
+    try:
+        solve_sharded(keys, plan, executor)
+        assert executor._arena is not None
+        names = executor._arena.segment_names()
+        assert names
+    finally:
+        executor.close()
+    assert executor._arena is None
+    assert all(n not in active_segment_names() for n in names)
+    executor.close()  # idempotent
+
+
+def test_pool_death_leaves_no_orphan_segments():
+    """An injected pool death mid-flush (workers killed, group rebuilt)
+    must not orphan the arena segments the dying workers had mapped —
+    the parent owns them and the parent is fine."""
+    keys = np.random.default_rng(1).random((12, 9))
+    plan = ShardPlan(
+        shards=[
+            Shard(i, tuple(range(i * 4, i * 4 + 4)), tuple(range(9)))
+            for i in range(3)
+        ],
+        num_shards_requested=3,
+    )
+    injector = FaultInjector(
+        parse_fault_spec("pool.submit:pool_death:@1"), seed=0
+    )
+    with ShardExecutor(
+        "process", max_workers=2, zero_copy=True, persistent_workers=True,
+        injector=injector,
+    ) as executor:
+        outcome = solve_sharded(keys, plan, executor)
+        assert len(outcome.pairs) > 0
+    assert not active_segment_names()
+
+
+# ----------------------------------------------------------------------
+# Stale ticket -> TaskFailure -> serial rescue
+# ----------------------------------------------------------------------
+def test_stale_ticket_task_raises_attach_error(clean_attach_cache):
+    with SharedMatrixArena() as arena:
+        (stale,) = arena.publish(_blocks((4, 4), seed=5))
+        arena.publish(_blocks((4, 4), seed=6))
+        arena.publish(_blocks((4, 4), seed=7))  # reclaims stale's slot
+        with pytest.raises(ArenaAttachError):
+            _solve_shard_task_shm(None, False, None, 0, stale)
+
+
+def test_attach_error_fails_fast_into_serial_rescue(clean_attach_cache):
+    """An ``ArenaAttachError`` surfacing from the fan-out is *not*
+    retried (the ticket can only get staler); the executor fails the
+    task immediately and ``solve_sharded`` re-solves it in the parent —
+    with pairs identical to a healthy flush."""
+    rng = np.random.default_rng(2)
+    keys = rng.random((10, 8))
+    plan = ShardPlan(
+        shards=[
+            Shard(0, tuple(range(5)), tuple(range(8))),
+            Shard(1, tuple(range(5, 10)), tuple(range(8))),
+        ],
+        num_shards_requested=2,
+    )
+    with ShardExecutor("serial") as serial_ex:
+        reference = solve_sharded(keys, plan, serial_ex)
+
+    class OneAttachFailureExecutor(ShardExecutor):
+        """First shard's result is forged into an ArenaAttachError as if
+        its ticket had gone stale in-flight."""
+
+        def run(self, tasks, tracer=None):
+            results = super().run(tasks)
+            failed = results[0]
+            forged = TaskFailure(
+                site="shard.solve", task_id=failed[0], attempts=1,
+                error=ArenaAttachError("stale arena ticket (forged)"),
+            )
+            return [forged] + results[1:]
+
+    with OneAttachFailureExecutor("serial") as executor:
+        outcome = solve_sharded(keys, plan, executor)
+    assert outcome.pairs == reference.pairs
+    assert outcome.serial_rescues == 1

@@ -1,0 +1,283 @@
+"""Determinism contract 11: zero-copy ≡ pickle ≡ serial.
+
+The zero-copy transport (shared-memory arena) and the persistent worker
+group change *how* shard matrices reach workers — never *what* the
+workers compute. These tests pin that across every backend, every worker
+count, mid-run pool recreation, arena-generation cycling, injected
+faults riding the shm path, and a full simulation: flipping
+``zero_copy`` / ``persistent_workers`` can never change a single pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.sharding import (
+    ShardExecutor,
+    solve_sharded,
+)
+from repro.dispatch.sharding.partitioner import Shard, ShardPlan
+from repro.faults import (
+    FaultInjector,
+    RetryPolicy,
+    TaskFailure,
+    parse_fault_spec,
+)
+from repro.roadnet.generators import grid_city
+from repro.roadnet.matrix import MatrixEngine
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import simulate
+from repro.sim.workload import ShanghaiLikeWorkload
+
+#: The zero-copy A/B axes on the process backend: pickle baseline,
+#: arena only, persistent workers only, both. Every cell must match the
+#: serial reference exactly.
+MODES = {
+    "pickle": {},
+    "zero_copy": {"zero_copy": True},
+    "persistent": {"persistent_workers": True},
+    "zero_copy+persistent": {"zero_copy": True, "persistent_workers": True},
+}
+
+FAST_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.0, backoff_cap_s=0.0)
+
+
+def _keys(seed=17, m=36, n=28, infeasible=0.4):
+    rng = np.random.default_rng(seed)
+    keys = rng.uniform(1.0, 100.0, size=(m, n))
+    keys[rng.random((m, n)) < infeasible] = np.inf
+    return keys
+
+
+def _plan(keys, num_shards=4):
+    """A hand-rolled row-split plan over the raw matrix (no grid)."""
+    rows = np.array_split(np.arange(keys.shape[0]), num_shards)
+    return ShardPlan(
+        shards=[
+            Shard(i, tuple(int(r) for r in rs), tuple(range(keys.shape[1])))
+            for i, rs in enumerate(rows)
+        ],
+        num_shards_requested=num_shards,
+    )
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return _keys()
+
+
+@pytest.fixture(scope="module")
+def plan(keys):
+    return _plan(keys)
+
+
+@pytest.fixture(scope="module")
+def reference(keys, plan):
+    """The serial-backend outcome every transport mode must reproduce."""
+    with ShardExecutor("serial") as executor:
+        return solve_sharded(keys, plan, executor)
+
+
+# ----------------------------------------------------------------------
+# Mode x worker-count grid vs the serial reference
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [1, 2, 4, 8])
+@pytest.mark.parametrize("mode", sorted(MODES))
+def test_process_modes_match_serial(keys, plan, reference, mode, workers):
+    with ShardExecutor(
+        "process", max_workers=workers, **MODES[mode]
+    ) as executor:
+        outcome = solve_sharded(keys, plan, executor)
+    assert outcome.pairs == reference.pairs
+    assert outcome.boundary_conflicts == reference.boundary_conflicts
+    assert outcome.shard_sizes == reference.shard_sizes
+    assert outcome.serial_rescues == 0
+
+
+@pytest.mark.parametrize("backend", ["serial", "thread"])
+def test_flags_are_inert_off_the_process_backend(keys, plan, reference, backend):
+    """``zero_copy`` / ``persistent_workers`` are accepted on serial and
+    thread backends (so config grids stay uniform) but change nothing:
+    those workers already share the parent's address space."""
+    with ShardExecutor(
+        backend, zero_copy=True, persistent_workers=True
+    ) as executor:
+        assert executor.zero_copy is False
+        assert executor.pool.persistent_workers is False
+        outcome = solve_sharded(keys, plan, executor)
+    assert outcome.pairs == reference.pairs
+
+
+# ----------------------------------------------------------------------
+# Lifecycle events mid-run
+# ----------------------------------------------------------------------
+def test_pool_recreation_between_flushes_changes_nothing(keys, plan, reference):
+    """Killing and lazily rebuilding the persistent worker group between
+    flushes (the degradation ladder's recovery move) must be invisible
+    in the results — fresh workers re-attach the arena and solve the
+    same bytes."""
+    with ShardExecutor(
+        "process", max_workers=2, zero_copy=True, persistent_workers=True
+    ) as executor:
+        first = solve_sharded(keys, plan, executor)
+        executor.pool.recreate()
+        second = solve_sharded(keys, plan, executor)
+    assert first.pairs == reference.pairs
+    assert second.pairs == reference.pairs
+
+
+def test_repeated_flushes_cycle_arena_generations(keys, plan, reference):
+    """Many flushes through one executor alternate the arena's two
+    slots and bump the generation each publish; every flush still
+    returns the reference pairs (no stale block is ever read)."""
+    with ShardExecutor(
+        "process", max_workers=2, zero_copy=True, persistent_workers=True
+    ) as executor:
+        for _ in range(6):
+            outcome = solve_sharded(keys, plan, executor)
+            assert outcome.pairs == reference.pairs
+        assert executor._arena is not None
+        assert executor._arena.generation == 6
+
+
+def test_varying_flush_shapes_through_one_arena(reference):
+    """Interleaving differently-sized flushes forces segment regrowth
+    mid-stream; each flush still matches its own serial reference."""
+    small, big = _keys(seed=3, m=12, n=10), _keys(seed=4, m=48, n=40)
+    cases = [
+        (small, _plan(small, 2)),
+        (big, _plan(big, 4)),
+        (small, _plan(small, 2)),
+    ]
+    with ShardExecutor("serial") as serial_ex:
+        expected = [
+            solve_sharded(k, p, serial_ex).pairs for k, p in cases
+        ]
+    with ShardExecutor(
+        "process", max_workers=2, zero_copy=True, persistent_workers=True
+    ) as executor:
+        got = [solve_sharded(k, p, executor).pairs for k, p in cases]
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# Faults riding the zero-copy path
+# ----------------------------------------------------------------------
+def test_injected_crash_retries_over_shm_to_reference(keys, plan, reference):
+    """A one-shot in-worker crash on the zero-copy path is retried over
+    the same arena ticket; results are identical to a fault-free run."""
+    injector = FaultInjector(parse_fault_spec("shard.solve:crash:@1"), seed=0)
+    with ShardExecutor(
+        "process",
+        max_workers=2,
+        zero_copy=True,
+        persistent_workers=True,
+        injector=injector,
+        retry=FAST_RETRY,
+    ) as executor:
+        outcome = solve_sharded(keys, plan, executor)
+    assert outcome.pairs == reference.pairs
+    assert outcome.serial_rescues == 0
+
+
+def test_pool_death_during_batched_submission_recovers(keys, plan, reference):
+    """``pool.submit:pool_death`` under ``submit_all`` kills the
+    persistent group mid-fan-out; already-accepted calls are flushed to
+    the dying pool, the group is recreated, and the flush completes
+    with the reference pairs."""
+    injector = FaultInjector(
+        parse_fault_spec("pool.submit:pool_death:@2"), seed=0
+    )
+    with ShardExecutor(
+        "process",
+        max_workers=2,
+        zero_copy=True,
+        persistent_workers=True,
+        injector=injector,
+        retry=FAST_RETRY,
+    ) as executor:
+        outcome = solve_sharded(keys, plan, executor)
+    assert outcome.pairs == reference.pairs
+
+
+def test_exhausted_retries_fall_back_to_serial_rescue(keys, plan, reference):
+    """Every attempt of every task crashing turns the whole flush into
+    parent-side serial rescues — and the pairs are *still* identical to
+    the reference (a rescue solves the same submatrix)."""
+    injector = FaultInjector(parse_fault_spec("shard.solve:crash:%1"), seed=0)
+    with ShardExecutor(
+        "process",
+        max_workers=2,
+        zero_copy=True,
+        persistent_workers=True,
+        injector=injector,
+        retry=RetryPolicy(max_attempts=2, backoff_s=0.0, backoff_cap_s=0.0),
+    ) as executor:
+        outcome = solve_sharded(keys, plan, executor)
+    assert outcome.pairs == reference.pairs
+    assert outcome.serial_rescues == len(plan.shards)
+
+
+def test_submit_all_fault_order_matches_per_call_path():
+    """Fault draws during batched submission happen per call in call
+    order, so an injection plan produces the same failed-call pattern
+    whether or not batching is active."""
+    calls = 6
+
+    def outcomes(persistent):
+        injector = FaultInjector(
+            parse_fault_spec("pool.submit:crash:@2,pool.submit:crash:@5"),
+            seed=0,
+        )
+        from repro.dispatch.sharding.executor import WorkerPool
+
+        with WorkerPool(
+            "process", max_workers=2, injector=injector,
+            persistent_workers=persistent,
+        ) as pool:
+            futures = pool.submit_all([(int, (i,)) for i in range(calls)])
+            out = []
+            for future in futures:
+                try:
+                    out.append(("ok", future.result(timeout=30)))
+                except Exception as error:
+                    out.append(("err", type(error).__name__))
+        return out
+
+    assert outcomes(True) == outcomes(False)
+
+
+# ----------------------------------------------------------------------
+# Full simulation: transport flags never change a simulation
+# ----------------------------------------------------------------------
+def test_simulation_identical_with_and_without_zero_copy():
+    city = grid_city(12, 12, seed=9)
+    engine = MatrixEngine(city)
+    trips = ShanghaiLikeWorkload(city, seed=9, min_trip_meters=600.0).generate(
+        num_trips=40, duration_seconds=900
+    )
+
+    def run(**overrides):
+        config = SimulationConfig(
+            num_vehicles=8,
+            algorithm="kinetic",
+            seed=5,
+            dispatch_policy="sharded",
+            num_shards=3,
+            shard_backend="process",
+            batch_window_s=20.0,
+            **overrides,
+        )
+        report = simulate(engine, config, trips)
+        return {
+            "assigned": report.num_assigned,
+            "rejected": report.num_rejected,
+            "cost": report.total_assignment_cost,
+            "service_log": {
+                rid: (entry.get("vehicle"), entry.get("assigned_cost"))
+                for rid, entry in report.service_log.items()
+            },
+        }
+
+    baseline = run()
+    zero_copy = run(shard_zero_copy=True, shard_persistent_workers=True)
+    assert zero_copy == baseline

@@ -159,3 +159,52 @@ def test_assignment_cost_raises_on_infeasible_pair():
     with pytest.raises(AssignmentInfeasibleError) as excinfo:
         assignment_cost(costs, [(0, 1)])
     assert excinfo.value.rows == (0,)
+
+
+# ----------------------------------------------------------------------
+# The _SMALL_COLS dispatch: pure-Python and vectorized paths bit-identical
+# ----------------------------------------------------------------------
+def test_small_and_vectorized_paths_are_bit_identical(monkeypatch):
+    """_hungarian_rect dispatches to a pure-Python inner loop below
+    _SMALL_COLS columns. Both loops must perform the identical float
+    ops in the identical order, so the crossover is pure tuning — this
+    drives adversarial matrices (heavy ties, big-M-style cells) through
+    both paths and demands identical column potentials, not merely
+    equally-good assignments."""
+    import repro.dispatch.solver as solver_module
+    from repro.dispatch.solver import _hungarian_rect, _hungarian_rect_small
+
+    rng = np.random.default_rng(99)
+    for trial in range(120):
+        m = int(rng.integers(1, 30))
+        n = int(rng.integers(m, 45))
+        cost = rng.random((m, n)) * 10
+        if trial % 3 == 0:
+            cost = np.round(cost, 1)  # heavy ties
+        if trial % 4 == 0:
+            cost[rng.random((m, n)) < 0.4] = 1e6  # big-M regime
+        small = _hungarian_rect_small(np.asarray(cost, dtype=float))
+        monkeypatch.setattr(solver_module, "_SMALL_COLS", 0)
+        vectorized = _hungarian_rect(np.asarray(cost, dtype=float))
+        monkeypatch.undo()
+        assert np.array_equal(
+            small, np.asarray(vectorized, dtype=np.int64)
+        ), f"paths diverged on trial {trial} ({m}x{n})"
+
+
+def test_solve_assignment_identical_across_the_crossover(monkeypatch):
+    """End to end: forcing every matrix through the vectorized path
+    changes no solve_assignment result."""
+    import repro.dispatch.solver as solver_module
+
+    rng = np.random.default_rng(7)
+    matrices = []
+    for _ in range(30):
+        m, n = int(rng.integers(1, 25)), int(rng.integers(1, 25))
+        keys = rng.uniform(1.0, 50.0, size=(m, n))
+        keys[rng.random((m, n)) < 0.35] = np.inf
+        matrices.append(keys)
+    with_dispatch = [solve_assignment(k) for k in matrices]
+    monkeypatch.setattr(solver_module, "_SMALL_COLS", 0)
+    vectorized_only = [solve_assignment(k) for k in matrices]
+    assert with_dispatch == vectorized_only

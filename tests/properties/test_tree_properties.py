@@ -27,10 +27,19 @@ N = CITY.num_vertices
 
 @st.composite
 def request_streams(draw):
-    """A start vertex plus 2-5 requests with varied constraints."""
+    """A start vertex plus 2-5 requests with varied constraints.
+
+    Request times must be non-decreasing — the simulator only ever
+    feeds the tree in event order, and a time-reversed stream asks the
+    tree (whose clock has already advanced) a different question than
+    a from-scratch reference solver. The stagger step is therefore
+    drawn once per stream: either a simultaneous batch (step 0) or a
+    30s-staggered arrival sequence.
+    """
     seed = draw(st.integers(0, 2**31 - 1))
     count = draw(st.integers(min_value=2, max_value=5))
     tight = draw(st.booleans())
+    step = draw(st.sampled_from([0.0, 30.0]))
     rng = np.random.default_rng(seed)
     wait = 240.0 if tight else 900.0
     eps = 0.25 if tight else 1.0
@@ -40,7 +49,7 @@ def request_streams(draw):
         o, d = (int(x) for x in rng.integers(0, N, 2))
         if o == d:
             continue
-        t = len(requests) * draw(st.sampled_from([0.0, 30.0]))
+        t = len(requests) * step
         requests.append(
             TripRequest(rid, o, d, t, wait, eps, ENGINE.distance(o, d))
         )

@@ -246,31 +246,59 @@ def test_no_deadline_means_no_degradation(scenario):
 # ----------------------------------------------------------------------
 # Chaos soak: >= 1000 flushes of mixed faults on the process backend
 # ----------------------------------------------------------------------
-def test_chaos_soak_process_backend_loses_nothing():
-    """The acceptance soak: a long simulation under a 5% mixed fault
-    plan — quote crashes and delays, shard crashes, pool deaths — on the
-    process shard backend, with carry-over and a flush deadline armed.
-    It must complete, drive >= 1000 flushes, and account for every
-    request: assigned or rejected (expiry settles as rejection), with
-    the same request population as the fault-free reference."""
+SOAK_PARAMS = dict(
+    num_vehicles=6,
+    algorithm="kinetic",
+    seed=5,
+    dispatch_policy="sharded",
+    num_shards=2,
+    shard_backend="process",
+    batch_window_s=2.0,
+    carry_over=True,
+    flush_deadline_s=1.0,
+    task_retries=1,
+)
+
+#: The two transport cells of the soak: the pickle baseline and the
+#: zero-copy arena + persistent worker group (whose shared segments and
+#: long-lived workers see every rung of the ladder fire over >= 1000
+#: flushes — the hardest lifecycle workout in the suite).
+SOAK_TRANSPORTS = {
+    "pickle": {},
+    "zero_copy+persistent": {
+        "shard_zero_copy": True,
+        "shard_persistent_workers": True,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def soak_scenario():
     city = grid_city(12, 12, seed=5)
     engine = MatrixEngine(city)
     trips = ShanghaiLikeWorkload(city, seed=5, min_trip_meters=600.0).generate(
         num_trips=300, duration_seconds=2400
     )
-    params = dict(
-        num_vehicles=6,
-        algorithm="kinetic",
-        seed=5,
-        dispatch_policy="sharded",
-        num_shards=2,
-        shard_backend="process",
-        batch_window_s=2.0,
-        carry_over=True,
-        flush_deadline_s=1.0,
-        task_retries=1,
+    reference = simulate(engine, SimulationConfig(**SOAK_PARAMS), trips)
+    return engine, trips, reference
+
+
+@pytest.mark.parametrize("transport", sorted(SOAK_TRANSPORTS))
+def test_chaos_soak_process_backend_loses_nothing(soak_scenario, transport):
+    """The acceptance soak: a long simulation under a 5% mixed fault
+    plan — quote crashes and delays, shard crashes, pool deaths — on the
+    process shard backend, with carry-over and a flush deadline armed.
+    It must complete, drive >= 1000 flushes, and account for every
+    request: assigned or rejected (expiry settles as rejection), with
+    the same request population as the fault-free reference. The
+    zero-copy + persistent-workers cell additionally proves the arena
+    survives the whole soak without leaking a single segment."""
+    from repro.dispatch.sharding.shm import (
+        active_segment_names,
+        leaked_segment_files,
     )
-    reference = simulate(engine, SimulationConfig(**params), trips)
+
+    engine, trips, reference = soak_scenario
     spec = (
         "quote.task:crash:0.05,"
         "quote.task:delay:0.03:0.6,"
@@ -279,7 +307,12 @@ def test_chaos_soak_process_backend_loses_nothing():
     )
     sim = Simulation(
         engine,
-        SimulationConfig(**params, fault_spec=spec, fault_seed=13),
+        SimulationConfig(
+            **SOAK_PARAMS,
+            **SOAK_TRANSPORTS[transport],
+            fault_spec=spec,
+            fault_seed=13,
+        ),
         trips,
     )
     report = sim.run()
@@ -294,3 +327,6 @@ def test_chaos_soak_process_backend_loses_nothing():
     # The ladder took real traffic: failed columns and rescued shards.
     assert summary["quote_columns_failed"] > 0
     assert summary["shard_serial_rescues"] > 0
+    # And the shared-memory plane released everything it created.
+    assert not active_segment_names()
+    assert not leaked_segment_files()
